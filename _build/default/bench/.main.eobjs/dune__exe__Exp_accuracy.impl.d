@@ -1,0 +1,1 @@
+bench/exp_accuracy.ml: Afl Brute_force Config Exp_common Hashtbl Kondo_baselines Kondo_core Kondo_workload List Metrics Pipeline Program Simple_convex Suite

@@ -1,0 +1,1 @@
+bench/exp_audit.ml: Array Datafile Exp_common Filename Float Kondo_audit Kondo_dataarray Kondo_h5 Kondo_workload List Program Stencils Sys Tracer

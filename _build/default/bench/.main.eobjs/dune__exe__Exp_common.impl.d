@@ -1,0 +1,1 @@
+bench/exp_common.ml: Config Kondo_core Kondo_workload List Metrics Pipeline Printf Program Schedule Suite Unix

@@ -1,0 +1,1 @@
+bench/exp_filelevel.ml: Config Datafile Exp_common Filename Index_set Kondo_core Kondo_dataarray Kondo_workload List Pipeline Program Shape Stencils Sys

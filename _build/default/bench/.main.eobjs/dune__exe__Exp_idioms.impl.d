@@ -1,0 +1,1 @@
+bench/exp_idioms.ml: Brute_force Exp_common Index_set Kondo_baselines Kondo_dataarray Kondo_workload List Program Shape Suite

@@ -1,0 +1,1 @@
+bench/exp_overview.ml: Array Carver Config Exp_common Filename Index_set Kondo_core Kondo_dataarray Kondo_workload List Printf Program Render Shape Stencils String Suite Svg Sys Unix

@@ -1,0 +1,1 @@
+bench/exp_realapps.ml: Brute_force Config Exp_common Kondo_baselines Kondo_core Kondo_dataarray Kondo_workload List Metrics Pipeline Printf Program Shape Suite

@@ -1,0 +1,1 @@
+bench/exp_schedules.ml: Array Buffer Carver Config Exp_common Kondo_core Kondo_dataarray Kondo_workload List Printf Program Schedule Stencils

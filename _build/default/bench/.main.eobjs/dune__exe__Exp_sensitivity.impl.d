@@ -1,0 +1,1 @@
+bench/exp_sensitivity.ml: Carver Config Exp_common Kondo_baselines Kondo_core Kondo_dataarray Kondo_interval Kondo_workload List Metrics Pipeline Printf Program Schedule Stencils

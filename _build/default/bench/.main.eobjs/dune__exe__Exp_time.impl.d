@@ -1,0 +1,1 @@
+bench/exp_time.ml: Afl Exp_common Float Index_set Kondo_baselines Kondo_core Kondo_dataarray Kondo_workload List Metrics Pipeline Program Schedule Suite

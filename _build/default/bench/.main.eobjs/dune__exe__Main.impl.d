@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_accuracy Exp_audit Exp_filelevel Exp_idioms Exp_overview Exp_realapps Exp_schedules Exp_sensitivity Exp_time List Microbench Printf Sys Unix

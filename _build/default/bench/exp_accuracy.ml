@@ -1,0 +1,112 @@
+(* Figure 7 (recall at a fixed budget), Figure 8 (precision per program),
+   Figure 9 (identified bloat), and the §V-D1 missed-valuation rates. *)
+
+open Kondo_workload
+open Kondo_baselines
+open Kondo_core
+open Exp_common
+
+(* Per-program evaluation budget: what Kondo needs to converge (§V-C). *)
+let budgets = Hashtbl.create 16
+
+let budget_for p =
+  match Hashtbl.find_opt budgets p.Program.name with
+  | Some b -> b
+  | None ->
+    let b = kondo_reference_budget p in
+    Hashtbl.add budgets p.Program.name b;
+    b
+
+let bf_at_budget p budget = (Brute_force.run ~max_evals:budget p).Brute_force.indices
+
+let afl_avg ?(seeds = 2) p budget =
+  mean
+    (List.init seeds (fun s ->
+         recall_of p (Afl.run ~seed:(s + 1) ~max_execs:budget p).Afl.indices))
+
+let afl_precision_avg ?(seeds = 2) p budget =
+  mean
+    (List.init seeds (fun s ->
+         precision_of p (Afl.run ~seed:(s + 1) ~max_execs:budget p).Afl.indices))
+
+let fig7 () =
+  header "Figure 7" "Average recall for a fixed budget: Kondo vs BF vs AFL (per micro-benchmark family)";
+  row "%-8s %10s %18s %10s %10s\n" "family" "budget" "Kondo (mean±std)" "BF" "AFL";
+  let all = Suite.all11 () in
+  let acc = ref [] in
+  List.iter
+    (fun (family, programs) ->
+      let k_recalls = ref [] and bf_recalls = ref [] and afl_recalls = ref [] in
+      let budget_sum = ref 0 in
+      List.iter
+        (fun p ->
+          let budget = budget_for p in
+          budget_sum := !budget_sum + budget;
+          let (kr, _), _, _ = kondo_avg ~seeds:10 ~budget p in
+          k_recalls := kr :: !k_recalls;
+          bf_recalls := recall_of p (bf_at_budget p budget) :: !bf_recalls;
+          afl_recalls := afl_avg p budget :: !afl_recalls)
+        programs;
+      let k = mean !k_recalls and b = mean !bf_recalls and a = mean !afl_recalls in
+      acc := (k, b, a) :: !acc;
+      row "%-8s %10d %12.3f       %10.3f %10.3f\n" family
+        (!budget_sum / max 1 (List.length programs))
+        k b a)
+    (group_by_family all);
+  let ks, bs, as_ = List.fold_left (fun (x, y, z) (k, b, a) -> (k :: x, b :: y, a :: z)) ([], [], []) !acc in
+  row "%-8s %10s %12.3f       %10.3f %10.3f\n" "MEAN" "" (mean ks) (mean bs) (mean as_);
+  row "  paper: Kondo consistently highest (avg 0.98); BF below Kondo, worse in 3D; AFL lowest\n"
+
+let fig8_fig9 () =
+  header "Figure 8 + 9" "Precision per program (Kondo/BF/AFL/SC) and identified bloat (Kondo vs truth)";
+  row "%-7s %8s | %9s %7s %7s %7s | %11s %11s\n" "program" "budget" "Kondo" "BF" "AFL" "SC"
+    "bloat-Kondo" "bloat-truth";
+  let k_precisions = ref [] and k_bloats = ref [] and truth_bloats = ref [] in
+  let sc_precisions = ref [] in
+  List.iter
+    (fun p ->
+      let budget = budget_for p in
+      let truth = Program.ground_truth p in
+      let _, (kp, _), (kb, _) = kondo_avg ~seeds:10 ~budget p in
+      let bfp = precision_of p (bf_at_budget p budget) in
+      let aflp = afl_precision_avg p budget in
+      let scp =
+        mean
+          (List.init 10 (fun s ->
+               let config =
+                 { Config.default with Config.seed = s + 1; max_iter = budget; stop_iter = budget }
+               in
+               precision_of p (Simple_convex.run ~config p).Simple_convex.approx))
+      in
+      let tb = Metrics.bloat_fraction truth in
+      k_precisions := kp :: !k_precisions;
+      sc_precisions := scp :: !sc_precisions;
+      k_bloats := kb :: !k_bloats;
+      truth_bloats := tb :: !truth_bloats;
+      row "%-7s %8d | %9.3f %7.3f %7.3f %7.3f | %10.1f%% %10.1f%%\n" p.Program.name budget kp bfp
+        aflp scp (pct kb) (pct tb))
+    (Suite.all11 ());
+  row "%-7s %8s | %9.3f %7s %7s %7.3f | %10.1f%% %10.1f%%\n" "MEAN" "" (mean !k_precisions) ""
+    "" (mean !sc_precisions) (pct (mean !k_bloats)) (pct (mean !truth_bloats));
+  row "  paper: Kondo avg precision 0.87 and avg identified bloat 63%%; BF/AFL precision always 1;\n";
+  row "         SC precision clearly below Kondo; LDC/RDC at 1.0; PRL and sparse CS variants below 1\n"
+
+let missed_rates () =
+  header "§V-D1" "Percentage of parameter valuations with at least one missed access";
+  row "%-7s %10s %14s\n" "program" "budget" "missed rate";
+  let rates = ref [] in
+  List.iter
+    (fun p ->
+      let budget = budget_for p in
+      let r = kondo_run ~seed:1 ~budget p in
+      let rate = Metrics.missed_valuation_rate p ~approx:r.Pipeline.approx in
+      rates := rate :: !rates;
+      row "%-7s %10d %13.2f%%\n" p.Program.name budget (pct rate))
+    (Suite.all11 ());
+  row "%-7s %10s %13.2f%%\n" "MEAN" "" (pct (mean !rates));
+  row "  paper: between 0.0%% and 0.8%% of valuations hit a missed access\n"
+
+let run () =
+  fig7 ();
+  fig8_fig9 ();
+  missed_rates ()

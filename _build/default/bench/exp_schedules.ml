@@ -1,0 +1,124 @@
+(* Figure 4: exploit/explore vs boundary-based exploit/explore.
+
+   The paper contrasts where fuzzed parameter values land after 1500 runs
+   of each schedule on a cross-stencil variant with disjoint valid
+   regions.  We render the parameter-space scatter ('|' useful, '-' not
+   useful, following the figure's marks) and quantify boundary
+   densification: the fraction of evaluations within distance 3 of the
+   usefulness boundary of Θ. *)
+
+open Kondo_workload
+open Kondo_core
+open Exp_common
+
+let boundary_cells p =
+  (* usefulness grid over the integer Θ, then cells adjacent to the
+     opposite class *)
+  let lo k = int_of_float (fst p.Program.param_space.(k)) in
+  let hi k = int_of_float (snd p.Program.param_space.(k)) in
+  let w = hi 0 - lo 0 + 1 and h = hi 1 - lo 1 + 1 in
+  let useful = Array.make_matrix w h false in
+  for a = 0 to w - 1 do
+    for b = 0 to h - 1 do
+      useful.(a).(b) <-
+        Program.is_useful p [| float_of_int (a + lo 0); float_of_int (b + lo 1) |]
+    done
+  done;
+  let boundary = Array.make_matrix w h false in
+  for a = 0 to w - 1 do
+    for b = 0 to h - 1 do
+      let neighbours =
+        [ (a - 1, b); (a + 1, b); (a, b - 1); (a, b + 1) ]
+        |> List.filter (fun (x, y) -> x >= 0 && x < w && y >= 0 && y < h)
+      in
+      if List.exists (fun (x, y) -> useful.(x).(y) <> useful.(a).(b)) neighbours then
+        boundary.(a).(b) <- true
+    done
+  done;
+  (useful, boundary, lo 0, lo 1, w, h)
+
+let near_boundary boundary w h radius a b =
+  let hit = ref false in
+  for x = max 0 (a - radius) to min (w - 1) (a + radius) do
+    for y = max 0 (b - radius) to min (h - 1) (b + radius) do
+      if boundary.(x).(y) then hit := true
+    done
+  done;
+  !hit
+
+let scatter trace w h lo0 lo1 =
+  let raster = Array.make_matrix (min 32 w) (min 64 h) ' ' in
+  let rows = Array.length raster and cols = Array.length raster.(0) in
+  List.iter
+    (fun (o : Schedule.outcome) ->
+      let a = int_of_float o.Schedule.params.(0) - lo0 in
+      let b = int_of_float o.Schedule.params.(1) - lo1 in
+      let r = a * rows / w and c = b * cols / h in
+      if r >= 0 && r < rows && c >= 0 && c < cols then
+        raster.(r).(c) <- (if o.Schedule.useful then '|' else '-'))
+    trace;
+  let b = Buffer.create 1024 in
+  Array.iter
+    (fun line ->
+      Buffer.add_string b "  ";
+      Array.iter (Buffer.add_char b) line;
+      Buffer.add_char b '\n')
+    raster;
+  Buffer.contents b
+
+let run () =
+  header "Figure 4" "EE vs boundary-based EE schedules (1500 runs each)";
+  let p = Stencils.cs ~n:64 5 in
+  (* CS5: two distant valid step windows *)
+  let budget = 1500 in
+  let base =
+    { Config.default with Config.max_iter = budget; stop_iter = budget; seed = 7 }
+  in
+  let useful, boundary, lo0, lo1, w, h = boundary_cells p in
+  ignore useful;
+  let frac_near trace =
+    let near = ref 0 and n = ref 0 in
+    List.iter
+      (fun (o : Schedule.outcome) ->
+        incr n;
+        let a = int_of_float o.Schedule.params.(0) - lo0 in
+        let b = int_of_float o.Schedule.params.(1) - lo1 in
+        if a >= 0 && a < w && b >= 0 && b < h && near_boundary boundary w h 3 a b then incr near)
+      trace;
+    float_of_int !near /. float_of_int (max 1 !n)
+  in
+  let run_one kind =
+    Schedule.run ~config:{ base with Config.schedule = kind } p
+  in
+  let ee = run_one Config.Ee in
+  let bee = run_one Config.Boundary_ee in
+  Printf.printf "\n  plain EE schedule ('|' useful, '-' not useful):\n%s"
+    (scatter ee.Schedule.trace w h lo0 lo1);
+  Printf.printf "\n  boundary-based EE schedule:\n%s" (scatter bee.Schedule.trace w h lo0 lo1);
+  row "\n  evaluations near the usefulness boundary (radius 3):\n";
+  row "    EE          : %5.1f%%  (%d evals, %d useful)\n" (pct (frac_near ee.Schedule.trace))
+    ee.Schedule.evaluations ee.Schedule.useful_count;
+  row "    boundary-EE : %5.1f%%  (%d evals, %d useful)\n" (pct (frac_near bee.Schedule.trace))
+    bee.Schedule.evaluations bee.Schedule.useful_count;
+  let truth = Kondo_workload.Program.ground_truth p in
+  row "  index-space recall after the same 1500 runs: EE %.3f, boundary-EE %.3f\n"
+    (Kondo_core.Metrics.recall ~truth ~approx:ee.Schedule.indices)
+    (Kondo_core.Metrics.recall ~truth ~approx:bee.Schedule.indices);
+  (* end-to-end: after carving, averaged over 5 seeds *)
+  let carved kind =
+    let tr = ref 0.0 and tp = ref 0.0 in
+    for s = 1 to 5 do
+      let config = { base with Config.schedule = kind; seed = s } in
+      let r = Schedule.run ~config p in
+      let carve = Carver.carve ~config r.Schedule.indices in
+      let approx = Carver.rasterize p.Kondo_workload.Program.shape carve.Carver.hulls in
+      Kondo_dataarray.Index_set.union_into approx r.Schedule.indices;
+      tr := !tr +. Kondo_core.Metrics.recall ~truth ~approx;
+      tp := !tp +. Kondo_core.Metrics.precision ~truth ~approx
+    done;
+    (!tr /. 5.0, !tp /. 5.0)
+  in
+  let er, ep = carved Config.Ee in
+  let br, bp = carved Config.Boundary_ee in
+  row "  after carving (5-seed mean): EE recall %.3f prec %.3f | boundary-EE recall %.3f prec %.3f\n"
+    er ep br bp

@@ -1,0 +1,88 @@
+(* Figure 10: time (and debloat tests) the baselines need to reach the
+   recall Kondo reaches within its own budget. *)
+
+open Kondo_dataarray
+open Kondo_workload
+open Kondo_baselines
+open Kondo_core
+open Exp_common
+
+(* Run BF until its recall reaches [target] (checking periodically),
+   reporting evaluations and wall time, or the cap. *)
+let bf_until p ~target ~cap =
+  let truth = Program.ground_truth p in
+  let indices = Index_set.create p.Program.shape in
+  let evals = ref 0 in
+  let reached = ref None in
+  let t0 = now () in
+  (try
+     Program.iter_param_space p (fun v ->
+         if !evals >= cap then raise Exit;
+         incr evals;
+         List.iter (fun slab -> Index_set.add_slab indices slab) (p.Program.plan v);
+         if !evals land 127 = 0 && Metrics.recall ~truth ~approx:indices >= target then begin
+           reached := Some (!evals, now () -. t0);
+           raise Exit
+         end)
+   with Exit -> ());
+  if !reached = None && Metrics.recall ~truth ~approx:indices >= target then
+    reached := Some (!evals, now () -. t0);
+  match !reached with
+  | Some (e, t) -> (true, e, t, Metrics.recall ~truth ~approx:indices)
+  | None -> (false, !evals, now () -. t0, Metrics.recall ~truth ~approx:indices)
+
+(* AFL with a periodic recall checkpoint, via its exec budget: run in
+   slices and test recall between slices. *)
+let afl_until p ~target ~cap =
+  let truth = Program.ground_truth p in
+  let t0 = now () in
+  let rec grow budget =
+    let r = Afl.run ~seed:1 ~max_execs:budget p in
+    let recall = Metrics.recall ~truth ~approx:r.Afl.indices in
+    if recall >= target then (true, r.Afl.executions, now () -. t0, recall)
+    else if budget >= cap then (false, r.Afl.executions, now () -. t0, recall)
+    else grow (budget * 2)
+  in
+  grow 2048
+
+let run () =
+  header "Figure 10" "Budget needed by BF and AFL to reach Kondo's recall";
+  row "%-8s %14s | %22s | %22s\n" "family" "Kondo" "BF (to Kondo recall)" "AFL (to Kondo recall)";
+  row "%-8s %6s %7s | %8s %6s %7s | %8s %6s %7s\n" "" "evals" "recall" "evals" "time" "recall"
+    "execs" "time" "recall";
+  List.iter
+    (fun (family, programs) ->
+      let k_evals = ref [] and k_recall = ref [] in
+      let bf_evals = ref [] and bf_time = ref [] and bf_rec = ref [] and bf_hit = ref true in
+      let afl_execs = ref [] and afl_time = ref [] and afl_rec = ref [] and afl_hit = ref true in
+      List.iter
+        (fun p ->
+          let budget = kondo_reference_budget p in
+          let r = kondo_run ~seed:1 ~budget p in
+          let target = recall_of p r.Pipeline.approx in
+          (* match the paper: targets are Kondo's achieved recall *)
+          let target = Float.min target 0.999 in
+          k_evals := float_of_int r.Pipeline.fuzz.Schedule.evaluations :: !k_evals;
+          k_recall := target :: !k_recall;
+          let cap = max (Program.param_count p) 1 in
+          let hit, e, t, rc = bf_until p ~target ~cap in
+          bf_hit := !bf_hit && hit;
+          bf_evals := float_of_int e :: !bf_evals;
+          bf_time := t :: !bf_time;
+          bf_rec := rc :: !bf_rec;
+          let acap = if Program.arity p >= 3 then 60_000 else 400_000 in
+          let hit, e, t, rc = afl_until p ~target ~cap:acap in
+          afl_hit := !afl_hit && hit;
+          afl_execs := float_of_int e :: !afl_execs;
+          afl_time := t :: !afl_time;
+          afl_rec := rc :: !afl_rec)
+        programs;
+      row "%-8s %6.0f %7.3f | %8.0f %5.2fs %6.3f%s | %8.0f %5.2fs %6.3f%s\n" family
+        (mean !k_evals) (mean !k_recall) (mean !bf_evals) (mean !bf_time) (mean !bf_rec)
+        (if !bf_hit then "" else "*")
+        (mean !afl_execs) (mean !afl_time) (mean !afl_rec)
+        (if !afl_hit then "" else "*"))
+    (group_by_family (Suite.all11 ()));
+  row "  (* = recall target not reached within the cap; stable recall reported instead)\n";
+  row "  paper: BF reaches Kondo's recall with ~30x more budget; AFL reaches it only on CS,\n";
+  row "         elsewhere it stabilizes lower after 100s-1000s of times Kondo's budget\n"

@@ -1,0 +1,321 @@
+(* kondo: the command-line front end.
+
+   Subcommands:
+     programs   list the registered benchmark programs
+     mkdata     write a program's dense KH5 data file
+     debloat    fuzz + carve + write the debloated KH5 file
+     run        execute a program against a KH5 file (original or debloated)
+     report     evaluate Kondo against a program's exact ground truth
+     inspect    print a KH5 file's datasets *)
+
+open Cmdliner
+open Kondo_dataarray
+open Kondo_workload
+open Kondo_core
+
+let find_program name n m =
+  match Suite.by_name ?n ?m name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "unknown program %S; try `kondo programs`\n" name;
+    exit 2
+
+(* ---- common options ---- *)
+
+let program_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "program" ] ~docv:"NAME" ~doc:"Benchmark program (see $(b,kondo programs)).")
+
+let n_arg =
+  Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"2D array dimension (default 128).")
+
+let m_arg =
+  Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc:"3D array dimension (default 64).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the fuzz schedule.")
+
+let max_iter_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.max_iter
+    & info [ "max-iter" ] ~docv:"ITERS" ~doc:"Maximum fuzz iterations (paper default 2000).")
+
+let config_of seed max_iter = { Config.default with Config.seed; max_iter }
+
+(* ---- programs ---- *)
+
+let programs_cmd =
+  let run () =
+    Printf.printf "%-7s %-8s %-9s %s\n" "name" "dims" "|Theta|" "description";
+    List.iter
+      (fun name ->
+        match Suite.by_name name with
+        | Some p ->
+          Printf.printf "%-7s %-8s %-9d %s\n" p.Program.name
+            (Shape.to_string p.Program.shape) (Program.param_count p) p.Program.description
+        | None -> ())
+      Suite.names
+  in
+  Cmd.v (Cmd.info "programs" ~doc:"List the registered benchmark programs.")
+    Term.(const run $ const ())
+
+(* ---- mkdata ---- *)
+
+let path_arg idx doc = Arg.(required & pos idx (some string) None & info [] ~docv:"PATH" ~doc)
+
+let mkdata_cmd =
+  let run name n m path =
+    let p = find_program name n m in
+    Datafile.write_for ~path p;
+    Printf.printf "wrote %s: %s of %s\n" path
+      (Shape.to_string p.Program.shape)
+      (Dtype.to_string p.Program.dtype)
+  in
+  Cmd.v
+    (Cmd.info "mkdata" ~doc:"Write a program's dense KH5 data file.")
+    Term.(const run $ program_arg $ n_arg $ m_arg $ path_arg 0 "Output KH5 path.")
+
+(* ---- debloat ---- *)
+
+let debloat_cmd =
+  let run name n m seed max_iter src dst =
+    let p = find_program name n m in
+    let config = config_of seed max_iter in
+    let report = Pipeline.debloat_file ~config p ~src ~dst in
+    let size path =
+      let ic = open_in_bin path in
+      let s = in_channel_length ic in
+      close_in ic;
+      s
+    in
+    Printf.printf "%s: %d debloat tests, %d hulls, kept %d of %d indices\n" p.Program.name
+      report.Pipeline.fuzz.Schedule.evaluations
+      (List.length report.Pipeline.carve.Carver.hulls)
+      (Index_set.cardinal report.Pipeline.approx)
+      (Shape.nelems p.Program.shape);
+    Printf.printf "%s (%d KiB) -> %s (%d KiB)\n" src (size src / 1024) dst (size dst / 1024)
+  in
+  Cmd.v
+    (Cmd.info "debloat" ~doc:"Fuzz, carve, and write the debloated KH5 file.")
+    Term.(
+      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg
+      $ path_arg 0 "Source (dense) KH5 file."
+      $ path_arg 1 "Destination (debloated) KH5 file.")
+
+(* ---- run ---- *)
+
+let params_arg =
+  Arg.(
+    required
+    & opt (some (list float)) None
+    & info [ "params" ] ~docv:"V1,V2,..." ~doc:"Parameter value for the run.")
+
+let run_cmd =
+  let run name n m params path =
+    let p = find_program name n m in
+    let v = Array.of_list params in
+    if Array.length v <> Program.arity p then begin
+      Printf.eprintf "%s expects %d parameters\n" p.Program.name (Program.arity p);
+      exit 2
+    end;
+    let f = Kondo_h5.File.open_file path in
+    (try
+       let elems = Program.run_io p f v in
+       Printf.printf "read %d elements — run supported by this file\n" elems
+     with Kondo_h5.File.Data_missing miss ->
+       Printf.printf "DATA MISSING at index (%s), byte offset %d — not containerized for this valuation\n"
+         (String.concat ","
+            (Array.to_list (Array.map string_of_int miss.Kondo_h5.File.index)))
+         miss.Kondo_h5.File.offset;
+       Kondo_h5.File.close f;
+       exit 1);
+    Kondo_h5.File.close f
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program against a KH5 file (original or debloated).")
+    Term.(const run $ program_arg $ n_arg $ m_arg $ params_arg $ path_arg 0 "KH5 data file.")
+
+(* ---- report ---- *)
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let report_cmd =
+  let run name n m seed max_iter json =
+    let p = find_program name n m in
+    let config = config_of seed max_iter in
+    let r = Pipeline.evaluate ~config p in
+    if json then print_endline (Report.Json.to_string ~indent:2 (Report.pipeline_json p r))
+    else begin
+      print_string (Report.pipeline_text p r);
+      let a = Option.get r.Pipeline.accuracy in
+      Printf.printf "truth bloat: %.2f%%\n"
+        (100.0 *. (Metrics.bloat_fraction (Program.ground_truth p)));
+      ignore a;
+      Printf.printf "missed     : %.3f%% of parameter valuations\n"
+        (100.0 *. Metrics.missed_valuation_rate p ~approx:r.Pipeline.approx)
+    end
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Evaluate Kondo against a program's exact ground truth.")
+    Term.(const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ json_arg)
+
+(* ---- invariant ---- *)
+
+let invariant_cmd =
+  let run name n m seed max_iter =
+    let p = find_program name n m in
+    let config = config_of seed max_iter in
+    let r = Pipeline.approximate ~config p in
+    let carve = r.Pipeline.carve in
+    let inv = Invariant.of_carve carve in
+    Printf.printf
+      "%s: the carved data subset as a disjunctive linear invariant\n(%d clauses, %d constraints):\n\n%s\n"
+      p.Program.name
+      (List.length (Invariant.clauses inv))
+      (Invariant.constraint_count inv) (Invariant.to_string inv)
+  in
+  Cmd.v
+    (Cmd.info "invariant"
+       ~doc:"Print the carved subset as a disjunctive linear invariant (paper SecVII).")
+    Term.(const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg)
+
+(* ---- audit ---- *)
+
+let log_arg =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc:"Save the event log.")
+
+let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Print the lineage graph in Graphviz form.")
+
+let audit_cmd =
+  let run name n m params path log dot =
+    let p = find_program name n m in
+    let tracer = Kondo_audit.Tracer.create () in
+    let f = Kondo_h5.File.open_file ~tracer ~pid:1 path in
+    let elems = Program.run_io p f (Array.of_list params) in
+    Kondo_h5.File.close f;
+    Printf.printf "read %d elements via %d events\n" elems
+      (Kondo_audit.Tracer.event_count tracer);
+    let offs = Kondo_audit.Tracer.offsets tracer ~pid:1 ~path in
+    Printf.printf "accessed byte ranges: %s\n" (Kondo_interval.Interval_set.to_string offs);
+    (match log with
+    | Some out ->
+      Kondo_audit.Event_log.save out (Kondo_audit.Tracer.events tracer);
+      Printf.printf "event log saved to %s\n" out
+    | None -> ());
+    if dot then
+      print_string
+        (Kondo_provenance.Lineage.to_dot
+           (Kondo_provenance.Lineage.of_tracer ~names:(fun _ -> name) tracer))
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Run a program under the fine-grained audit and report offsets.")
+    Term.(
+      const run $ program_arg $ n_arg $ m_arg $ params_arg $ path_arg 0 "KH5 data file."
+      $ log_arg $ dot_arg)
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let state_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state" ] ~docv:"FILE" ~doc:"Campaign state file (created when absent).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"K" ~doc:"Fuzzing rounds to add.")
+  in
+  let run name n m seed max_iter state rounds =
+    let p = find_program name n m in
+    let config = config_of seed max_iter in
+    let c = if Sys.file_exists state then Campaign.load p state else Campaign.fresh p in
+    let before = Index_set.cardinal (Campaign.observed c) in
+    let c = Campaign.extend ~config p c rounds in
+    Campaign.save c state;
+    let approx = Campaign.carve ~config p c in
+    Printf.printf
+      "%s: %d total rounds; observed %d indices (+%d this session); carved subset %d indices (%.2f%%)\n"
+      p.Program.name (Campaign.rounds c)
+      (Index_set.cardinal (Campaign.observed c))
+      (Index_set.cardinal (Campaign.observed c) - before)
+      (Index_set.cardinal approx)
+      (100.0 *. Index_set.fraction approx);
+    Printf.printf "state saved to %s\n" state
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Extend a resumable fuzzing campaign (paper SecVI: let Kondo run for more time).")
+    Term.(
+      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ state_arg $ rounds_arg)
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let run path =
+    let tracer = Kondo_audit.Event_log.replay path in
+    Printf.printf "%d events over %d file(s)\n"
+      (Kondo_audit.Tracer.event_count tracer)
+      (List.length (Kondo_audit.Tracer.paths tracer));
+    List.iter
+      (fun p ->
+        Printf.printf "  %s: %s\n" p
+          (Kondo_interval.Interval_set.to_string
+             (Kondo_audit.Tracer.offsets_of_path tracer ~path:p)))
+      (Kondo_audit.Tracer.paths tracer)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Rebuild offset summaries from a saved event log.")
+    Term.(const run $ path_arg 0 "Event log file.")
+
+(* ---- convert ---- *)
+
+let convert_cmd =
+  let run src dst =
+    let f = Kondo_h5.Netcdf.open_file src in
+    Kondo_h5.Netcdf.to_kh5 f dst;
+    Printf.printf "converted %d variable(s) from %s to %s\n"
+      (List.length (Kondo_h5.Netcdf.vars f))
+      src dst;
+    Kondo_h5.Netcdf.close f
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert a NetCDF classic file to KH5.")
+    Term.(const run $ path_arg 0 "Source NetCDF file." $ path_arg 1 "Destination KH5 file.")
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let run path =
+    let f = Kondo_h5.File.open_file path in
+    Printf.printf "%s (%d bytes)\n" path (Kondo_h5.File.file_size f);
+    List.iter
+      (fun ds ->
+        let name = ds.Kondo_h5.Dataset.name in
+        Printf.printf "  %s [%s]\n" (Kondo_h5.Dataset.to_string ds)
+          (if Kondo_h5.File.verify f name then "crc ok" else "CRC MISMATCH");
+        List.iter
+          (fun (k, attr) ->
+            match attr with
+            | Kondo_h5.Dataset.Str v -> Printf.printf "    @%s = %S\n" k v
+            | Kondo_h5.Dataset.Num v -> Printf.printf "    @%s = %g\n" k v)
+          ds.Kondo_h5.Dataset.attrs)
+      (Kondo_h5.File.datasets f);
+    Kondo_h5.File.close f
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print a KH5 file's datasets.")
+    Term.(const run $ path_arg 0 "KH5 file.")
+
+let () =
+  let info =
+    Cmd.info "kondo" ~version:"1.0.0"
+      ~doc:"Provenance-driven data debloating (reproduction of Kondo, ICDE 2024)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ programs_cmd; mkdata_cmd; debloat_cmd; run_cmd; report_cmd; inspect_cmd;
+            invariant_cmd; audit_cmd; campaign_cmd; replay_cmd; convert_cmd ]))

@@ -1,0 +1,1 @@
+examples/audit_explorer.ml: Datafile Event Filename Interval Interval_set Kondo_audit Kondo_h5 Kondo_interval Kondo_provenance Kondo_workload List Printf Program Stencils String Sys Tracer

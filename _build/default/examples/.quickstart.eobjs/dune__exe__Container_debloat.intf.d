@@ -1,0 +1,1 @@
+examples/container_debloat.mli:

@@ -1,0 +1,1 @@
+examples/invariants.ml: Carver Config Index_set Invariant Kondo_core Kondo_dataarray Kondo_workload List Pipeline Printf Program Shape Stencils

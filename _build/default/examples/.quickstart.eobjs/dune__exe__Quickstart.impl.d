@@ -1,0 +1,1 @@
+examples/quickstart.ml: Carver Config Datafile Filename Kondo_core Kondo_dataarray Kondo_h5 Kondo_workload List Metrics Pipeline Printf Program Schedule Stencils Sys

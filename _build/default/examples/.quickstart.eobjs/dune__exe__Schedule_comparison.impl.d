@@ -1,0 +1,1 @@
+examples/schedule_comparison.ml: Carver Config Index_set Kondo_core Kondo_dataarray Kondo_workload List Metrics Printf Program Render Schedule Stencils String

@@ -1,0 +1,66 @@
+(* Exploring the fine-grained audit layer and the lineage graph.
+
+   Reproduces the paper's §IV-C worked example (four events from two
+   processes merging to two offset ranges), then audits a real program
+   execution and derives coarse- and fine-grained lineage from it.
+
+     dune exec examples/audit_explorer.exe *)
+
+open Kondo_interval
+open Kondo_audit
+open Kondo_workload
+
+let () =
+  (* ---- the §IV-C example ------------------------------------------- *)
+  print_endline "=== paper §IV-C example ===";
+  let t = Tracer.create () in
+  List.iter
+    (fun (pid, off, sz) ->
+      let e = Tracer.record t ~pid ~path:"d_file" ~op:Event.Read ~offset:off ~size:sz in
+      Printf.printf "  logged %s\n" (Event.to_string e))
+    [ (1, 0, 110); (2, 70, 30); (1, 130, 20); (1, 90, 30) ];
+  Printf.printf "  merged accessed offsets: %s (paper: (0,120) and (130,150))\n"
+    (Interval_set.to_string (Tracer.offsets_of_path t ~path:"d_file"));
+  Printf.printf "  P1 alone: %s | P2 alone: %s\n"
+    (Interval_set.to_string (Tracer.offsets t ~pid:1 ~path:"d_file"))
+    (Interval_set.to_string (Tracer.offsets t ~pid:2 ~path:"d_file"));
+  let hits = Tracer.lookup t ~pid:1 ~path:"d_file" (Interval.make 100 140) in
+  Printf.printf "  interval-B-tree lookup [100,140) for P1: %d overlapping event ranges\n"
+    (List.length hits);
+
+  (* ---- auditing a real program run ---------------------------------- *)
+  print_endline "\n=== auditing a PRL2D run ===";
+  let p = Stencils.prl2d ~n:64 () in
+  let path = Filename.temp_file "audit_demo" ".kh5" in
+  Datafile.write_for ~path p;
+  let tracer = Tracer.create () in
+  let f = Kondo_h5.File.open_file ~tracer ~pid:42 path in
+  let elems = Program.run_io p f [| 12.0; 14.0 |] in
+  Kondo_h5.File.close f;
+  Printf.printf "  run read %d elements via %d audited events\n" elems (Tracer.event_count tracer);
+  let offs = Tracer.offsets tracer ~pid:42 ~path in
+  Printf.printf "  coalesced byte ranges: %d runs covering %d bytes\n"
+    (Interval_set.cardinal offs) (Interval_set.total_length offs);
+
+  (* ---- lineage ------------------------------------------------------ *)
+  print_endline "\n=== lineage graph ===";
+  let g = Kondo_provenance.Lineage.of_tracer ~names:(fun _ -> "PRL2D") tracer in
+  List.iter
+    (fun (proc : Kondo_provenance.Lineage.process) ->
+      Printf.printf "  process %d (%s) used: %s\n" proc.Kondo_provenance.Lineage.pid
+        proc.Kondo_provenance.Lineage.name
+        (String.concat ", "
+           (Kondo_provenance.Lineage.files_used_by g ~pid:proc.Kondo_provenance.Lineage.pid)))
+    (Kondo_provenance.Lineage.processes g);
+  (* what file-level lineage debloating would miss: the whole file was
+     "used", yet most bytes were not *)
+  let ds_bytes =
+    let f = Kondo_h5.File.open_file path in
+    let n = Kondo_h5.Dataset.logical_bytes (Kondo_h5.File.find f "data") in
+    Kondo_h5.File.close f;
+    n
+  in
+  Printf.printf "  file-level lineage keeps %d bytes; offset-level lineage shows only %d touched\n"
+    ds_bytes (Interval_set.total_length offs);
+  Printf.printf "\n  graphviz:\n%s" (Kondo_provenance.Lineage.to_dot g);
+  Sys.remove path

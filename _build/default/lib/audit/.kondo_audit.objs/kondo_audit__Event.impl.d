@@ -1,0 +1,1 @@
+lib/audit/event.ml: Interval Kondo_interval Printf

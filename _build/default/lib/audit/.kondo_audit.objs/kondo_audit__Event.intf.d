@@ -1,0 +1,1 @@
+lib/audit/event.mli: Interval Kondo_interval

@@ -1,0 +1,1 @@
+lib/audit/event_log.ml: Event Fun Hashtbl List Printf String Tracer

@@ -1,0 +1,1 @@
+lib/audit/event_log.mli: Event Tracer

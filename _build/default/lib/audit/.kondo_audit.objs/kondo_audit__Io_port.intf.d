@@ -1,0 +1,1 @@
+lib/audit/io_port.mli:

@@ -1,0 +1,1 @@
+lib/audit/tracer.ml: Event Hashtbl Interval_btree Interval_set Io_port Kondo_interval List String

@@ -1,0 +1,1 @@
+lib/audit/tracer.mli: Event Interval Interval_set Io_port Kondo_interval

@@ -1,0 +1,19 @@
+open Kondo_interval
+type op = Open | Read | Write | Mmap | Close
+
+type t = { seq : int; pid : int; path : string; op : op; offset : int; size : int }
+
+let interval t = Interval.of_event ~offset:t.offset ~size:t.size
+
+let op_to_string = function
+  | Open -> "open"
+  | Read -> "read"
+  | Write -> "write"
+  | Mmap -> "mmap"
+  | Close -> "close"
+
+let to_string t =
+  Printf.sprintf "e%d(P%d, %s, %s, %d, %d)" t.seq t.pid (op_to_string t.op) t.path t.offset
+    t.size
+
+let is_access t = match t.op with Read | Mmap -> true | Open | Write | Close -> false

@@ -1,0 +1,26 @@
+open Kondo_interval
+(** Audited I/O events.
+
+    Paper §IV-C, Definition 4: an event is a four-tuple [⟨id, c, l, sz⟩]
+    where [id] identifies the generating process and affected file, [c] is
+    the event type, [l] the start byte offset and [sz] the affected size.
+    The sequence number makes every event unique in the log. *)
+
+type op = Open | Read | Write | Mmap | Close
+
+type t = {
+  seq : int;     (** log sequence number *)
+  pid : int;     (** generating process *)
+  path : string; (** affected file *)
+  op : op;
+  offset : int;  (** start byte offset [l] *)
+  size : int;    (** affected size [sz] *)
+}
+
+val interval : t -> Interval.t
+(** The affected byte range [\[l, l+sz)]. *)
+
+val op_to_string : op -> string
+val to_string : t -> string
+val is_access : t -> bool
+(** Reads and mmaps move data to the application; opens/closes do not. *)

@@ -1,0 +1,124 @@
+let magic = "KLOG\x01"
+
+type writer = {
+  oc : out_channel;
+  paths : (string, int) Hashtbl.t;
+  mutable next_path_id : int;
+}
+
+let put_varint oc v =
+  if v < 0 then invalid_arg "Event_log: negative field";
+  let rec go v =
+    if v < 0x80 then output_byte oc v
+    else begin
+      output_byte oc (v land 0x7F lor 0x80);
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let op_code = function
+  | Event.Open -> 0
+  | Event.Read -> 1
+  | Event.Write -> 2
+  | Event.Mmap -> 3
+  | Event.Close -> 4
+
+let op_of_code = function
+  | 0 -> Event.Open
+  | 1 -> Event.Read
+  | 2 -> Event.Write
+  | 3 -> Event.Mmap
+  | 4 -> Event.Close
+  | c -> failwith (Printf.sprintf "Event_log: bad op code %d" c)
+
+let create_writer path =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  { oc; paths = Hashtbl.create 8; next_path_id = 0 }
+
+let path_id w path =
+  match Hashtbl.find_opt w.paths path with
+  | Some id -> id
+  | None ->
+    let id = w.next_path_id in
+    w.next_path_id <- id + 1;
+    Hashtbl.add w.paths path id;
+    (* path definition record: tag 0 *)
+    put_varint w.oc 0;
+    put_varint w.oc id;
+    put_varint w.oc (String.length path);
+    output_string w.oc path;
+    id
+
+let log w (e : Event.t) =
+  let pid_of_path = path_id w e.Event.path in
+  (* event record: tag 1 *)
+  put_varint w.oc 1;
+  put_varint w.oc e.Event.seq;
+  put_varint w.oc e.Event.pid;
+  put_varint w.oc pid_of_path;
+  put_varint w.oc (op_code e.Event.op);
+  put_varint w.oc e.Event.offset;
+  put_varint w.oc e.Event.size
+
+let close_writer w = close_out w.oc
+
+let save path events =
+  let w = create_writer path in
+  Fun.protect ~finally:(fun () -> close_writer w) (fun () -> List.iter (log w) events)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let head =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> failwith "Event_log: truncated header"
+      in
+      if head <> magic then failwith "Event_log: bad magic";
+      let get_varint () =
+        let rec go shift acc =
+          let b = input_byte ic in
+          let acc = acc lor ((b land 0x7F) lsl shift) in
+          if b land 0x80 = 0 then acc else go (shift + 7) acc
+        in
+        go 0 0
+      in
+      let paths : (int, string) Hashtbl.t = Hashtbl.create 8 in
+      let events = ref [] in
+      (try
+         while true do
+           match get_varint () with
+           | 0 ->
+             let id = get_varint () in
+             let len = get_varint () in
+             Hashtbl.replace paths id (really_input_string ic len)
+           | 1 ->
+             let seq = get_varint () in
+             let pid = get_varint () in
+             let path_id = get_varint () in
+             let op = op_of_code (get_varint ()) in
+             let offset = get_varint () in
+             let size = get_varint () in
+             let path =
+               match Hashtbl.find_opt paths path_id with
+               | Some p -> p
+               | None -> failwith "Event_log: undefined path id"
+             in
+             events := { Event.seq; pid; path; op; offset; size } :: !events
+           | tag -> failwith (Printf.sprintf "Event_log: bad record tag %d" tag)
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+let replay path =
+  let t = Tracer.create () in
+  List.iter
+    (fun (e : Event.t) ->
+      ignore
+        (Tracer.record t ~pid:e.Event.pid ~path:e.Event.path ~op:e.Event.op ~offset:e.Event.offset
+           ~size:e.Event.size))
+    (load path);
+  t

@@ -1,0 +1,28 @@
+(** Persistent binary event logs.
+
+    Kondo's audit "records system call arguments in a data store" (§V)
+    so that carving and re-execution can happen offline, after the
+    audited runs.  The log format is a compact LEB128-varint stream with
+    a path string table (paths repeat across events), written append-only.
+
+    A saved log reloads into the exact event list; [replay] folds a log
+    into a fresh {!Tracer} to rebuild its interval indexes. *)
+
+type writer
+
+val create_writer : string -> writer
+(** Truncates/creates the file and writes the header. *)
+
+val log : writer -> Event.t -> unit
+
+val close_writer : writer -> unit
+
+val save : string -> Event.t list -> unit
+(** One-shot: write a whole event list. *)
+
+val load : string -> Event.t list
+(** @raise Failure on malformed logs. *)
+
+val replay : string -> Tracer.t
+(** Load a log and rebuild a tracer from it (event sequence numbers are
+    preserved from the log). *)

@@ -1,0 +1,34 @@
+type t = {
+  path : string;
+  size : unit -> int;
+  pread : int -> int -> bytes;
+  close : unit -> unit;
+}
+
+let of_bytes ~path buf =
+  { path;
+    size = (fun () -> Bytes.length buf);
+    pread =
+      (fun off len ->
+        if off < 0 || len < 0 || off + len > Bytes.length buf then
+          invalid_arg "Io_port.pread: out of range";
+        Bytes.sub buf off len);
+    close = (fun () -> ()) }
+
+let of_file path =
+  let ic = open_in_bin path in
+  { path;
+    size = (fun () -> in_channel_length ic);
+    pread =
+      (fun off len ->
+        if off < 0 || len < 0 || off + len > in_channel_length ic then
+          invalid_arg "Io_port.pread: out of range";
+        seek_in ic off;
+        let buf = Bytes.create len in
+        really_input ic buf 0 len;
+        buf);
+    close = (fun () -> close_in ic) }
+
+let with_file path f =
+  let port = of_file path in
+  Fun.protect ~finally:port.close (fun () -> f port)

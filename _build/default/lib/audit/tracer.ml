@@ -1,0 +1,75 @@
+open Kondo_interval
+type key = int * string (* pid, path *)
+
+type t = {
+  mutable events_rev : Event.t list;
+  mutable next_seq : int;
+  index : (key, int Interval_btree.t) Hashtbl.t; (* payload: event seq *)
+}
+
+let create () = { events_rev = []; next_seq = 0; index = Hashtbl.create 16 }
+
+let tree_for t key =
+  match Hashtbl.find_opt t.index key with
+  | Some tree -> tree
+  | None ->
+    let tree = Interval_btree.create () in
+    Hashtbl.add t.index key tree;
+    tree
+
+let record t ~pid ~path ~op ~offset ~size =
+  let e = { Event.seq = t.next_seq; pid; path; op; offset; size } in
+  t.next_seq <- t.next_seq + 1;
+  t.events_rev <- e :: t.events_rev;
+  if Event.is_access e && size > 0 then
+    Interval_btree.insert (tree_for t (pid, path)) (Event.interval e) e.Event.seq;
+  e
+
+let wrap t ~pid (port : Io_port.t) =
+  let path = port.Io_port.path in
+  ignore (record t ~pid ~path ~op:Event.Open ~offset:0 ~size:0);
+  { Io_port.path;
+    size = port.Io_port.size;
+    pread =
+      (fun off len ->
+        ignore (record t ~pid ~path ~op:Event.Read ~offset:off ~size:len);
+        port.Io_port.pread off len);
+    close =
+      (fun () ->
+        ignore (record t ~pid ~path ~op:Event.Close ~offset:0 ~size:0);
+        port.Io_port.close ()) }
+
+let events t = List.rev t.events_rev
+let event_count t = t.next_seq
+
+let offsets t ~pid ~path =
+  match Hashtbl.find_opt t.index (pid, path) with
+  | None -> Interval_set.empty
+  | Some tree -> Interval_btree.coalesced tree
+
+let offsets_of_path t ~path =
+  Hashtbl.fold
+    (fun (_, p) tree acc ->
+      if String.equal p path then Interval_set.union acc (Interval_btree.coalesced tree)
+      else acc)
+    t.index Interval_set.empty
+
+let paths t =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.iter (fun (_, p) _ -> Hashtbl.replace tbl p ()) t.index;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) tbl [])
+
+let pids t =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.iter (fun (pid, _) _ -> Hashtbl.replace tbl pid ()) t.index;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) tbl [])
+
+let lookup t ~pid ~path probe =
+  match Hashtbl.find_opt t.index (pid, path) with
+  | None -> []
+  | Some tree -> Interval_btree.overlapping tree probe
+
+let reset t =
+  t.events_rev <- [];
+  t.next_seq <- 0;
+  Hashtbl.reset t.index

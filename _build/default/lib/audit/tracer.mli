@@ -1,0 +1,42 @@
+open Kondo_interval
+(** The fine-grained auditing system [AS] (paper §II, §IV-C).
+
+    A tracer owns an append-only event log plus, per (process, file), an
+    {!Interval_btree} indexing the byte ranges the process touched —
+    enabling the per-process offset-range lookups of §IV-C.  Wrapping an
+    {!Io_port} makes every positional read emit a [Read] event before the
+    bytes are delivered, mirroring syscall interposition. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> pid:int -> path:string -> op:Event.op -> offset:int -> size:int -> Event.t
+(** Append an event and index its byte range. *)
+
+val wrap : t -> pid:int -> Io_port.t -> Io_port.t
+(** Audited view of a port: [pread] logs a [Read] event; [close] logs a
+    [Close].  An [Open] event is logged immediately. *)
+
+val events : t -> Event.t list
+(** In log order. *)
+
+val event_count : t -> int
+
+val offsets : t -> pid:int -> path:string -> Interval_set.t
+(** Coalesced byte ranges accessed by one process in one file. *)
+
+val offsets_of_path : t -> path:string -> Interval_set.t
+(** Coalesced ranges accessed by {e any} process — the merged view of the
+    §IV-C example (events from P1 and P2 merge to (0,120) and (130,150)). *)
+
+val paths : t -> string list
+(** Files with at least one access event, sorted. *)
+
+val pids : t -> int list
+
+val lookup : t -> pid:int -> path:string -> Interval.t -> (Interval.t * int) list
+(** Raw B-tree overlap query: (range, event seq) pairs overlapping the
+    probe, for one process. *)
+
+val reset : t -> unit

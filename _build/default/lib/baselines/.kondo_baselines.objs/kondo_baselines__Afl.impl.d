@@ -1,0 +1,1 @@
+lib/baselines/afl.ml: Array Bytes Char Hashtbl Index_set Kondo_dataarray Kondo_prng Kondo_workload List Program Rng Shape String Unix

@@ -1,0 +1,1 @@
+lib/baselines/afl.mli: Index_set Kondo_dataarray Kondo_workload Program

@@ -1,0 +1,1 @@
+lib/baselines/brute_force.ml: Index_set Kondo_dataarray Kondo_workload List Program Unix

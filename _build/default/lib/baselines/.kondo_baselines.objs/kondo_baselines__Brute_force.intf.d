@@ -1,0 +1,1 @@
+lib/baselines/brute_force.mli: Index_set Kondo_dataarray Kondo_workload Program

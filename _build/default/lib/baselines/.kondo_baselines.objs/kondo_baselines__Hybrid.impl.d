@@ -1,0 +1,1 @@
+lib/baselines/hybrid.ml: Afl Carver Config Index_set Kondo_core Kondo_dataarray Kondo_workload Option Pipeline Program Schedule Unix

@@ -1,0 +1,1 @@
+lib/baselines/hybrid.mli: Config Index_set Kondo_core Kondo_dataarray Kondo_workload Pipeline Program

@@ -1,0 +1,1 @@
+lib/baselines/simple_convex.ml: Carver Index_set Kondo_core Kondo_dataarray Kondo_geometry Kondo_workload List Program Schedule Unix

@@ -1,0 +1,1 @@
+lib/baselines/simple_convex.mli: Config Index_set Kondo_core Kondo_dataarray Kondo_workload Program Schedule

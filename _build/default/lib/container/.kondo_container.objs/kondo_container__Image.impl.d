@@ -1,0 +1,1 @@
+lib/container/image.ml: Bytes Filename Fun Hashtbl Int64 List Merkle Spec String

@@ -1,0 +1,1 @@
+lib/container/merkle.ml: Bytes Char Int64 List Set

@@ -1,0 +1,1 @@
+lib/container/merkle.mli: Set

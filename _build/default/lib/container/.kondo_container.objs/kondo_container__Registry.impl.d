@@ -1,0 +1,1 @@
+lib/container/registry.ml: Bytes Hashtbl Image Int64 List Merkle Spec

@@ -1,0 +1,1 @@
+lib/container/registry.mli: Image Merkle

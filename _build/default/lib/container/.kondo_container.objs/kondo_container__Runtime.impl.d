@@ -1,0 +1,1 @@
+lib/container/runtime.ml: Dtype Hyperslab Image Kondo_dataarray Kondo_h5 List Option Spec String Sys

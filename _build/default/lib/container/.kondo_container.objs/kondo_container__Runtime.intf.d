@@ -1,0 +1,1 @@
+lib/container/runtime.mli: Hyperslab Image Kondo_audit Kondo_dataarray Kondo_h5 Tracer

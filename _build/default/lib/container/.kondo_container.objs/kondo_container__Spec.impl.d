@@ -1,0 +1,1 @@
+lib/container/spec.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/container/spec.mli:

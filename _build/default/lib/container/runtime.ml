@@ -1,0 +1,80 @@
+open Kondo_dataarray
+module Kfile = Kondo_h5.File
+
+type stats = {
+  mutable reads : int;
+  mutable misses : int;
+  mutable remote_fetches : int;
+  mutable remote_bytes : int;
+}
+
+type mount = {
+  dst : string;
+  local : Kfile.t;
+  src : string; (* original source path, the "remote server" copy *)
+  mutable remote_file : Kfile.t option;
+}
+
+type t = { image : Image.t; mounts : mount list; remote : bool; stats : stats }
+
+let boot ?tracer ?(remote = false) ~image ~dir () =
+  let mapping = Image.materialize image ~dir in
+  let mounts =
+    List.map
+      (fun (dst, path) ->
+        let src =
+          match Spec.data_dep_for image.Image.spec dst with
+          | Some d -> d.Spec.src
+          | None -> ""
+        in
+        { dst; local = Kfile.open_file ?tracer path; src; remote_file = None })
+      mapping
+  in
+  { image; mounts; remote; stats = { reads = 0; misses = 0; remote_fetches = 0; remote_bytes = 0 } }
+
+let mount t dst =
+  match List.find_opt (fun m -> String.equal m.dst dst) t.mounts with
+  | Some m -> m
+  | None -> raise Not_found
+
+let file t ~dst = (mount t dst).local
+
+let remote_file t m =
+  match m.remote_file with
+  | Some f -> Some f
+  | None ->
+    if t.remote && m.src <> "" && Sys.file_exists m.src then begin
+      let f = Kfile.open_file m.src in
+      m.remote_file <- Some f;
+      Some f
+    end
+    else None
+
+let read_element t ~dst ~dataset idx =
+  let m = mount t dst in
+  t.stats.reads <- t.stats.reads + 1;
+  try Kfile.read_element m.local dataset idx
+  with Kfile.Data_missing _ as exn -> (
+    t.stats.misses <- t.stats.misses + 1;
+    match remote_file t m with
+    | Some f ->
+      let v = Kfile.read_element f dataset idx in
+      t.stats.remote_fetches <- t.stats.remote_fetches + 1;
+      let ds = Kfile.find f dataset in
+      t.stats.remote_bytes <- t.stats.remote_bytes + Dtype.size ds.Kondo_h5.Dataset.dtype;
+      v
+    | None -> raise exn)
+
+let read_slab t ~dst ~dataset slab f =
+  let m = mount t dst in
+  let shape = (Kfile.find m.local dataset).Kondo_h5.Dataset.shape in
+  Hyperslab.iter ~clip:shape slab (fun idx -> f idx (read_element t ~dst ~dataset idx))
+
+let stats t = t.stats
+
+let shutdown t =
+  List.iter
+    (fun m ->
+      Kfile.close m.local;
+      Option.iter Kfile.close m.remote_file)
+    t.mounts

@@ -1,0 +1,39 @@
+open Kondo_dataarray
+open Kondo_audit
+
+(** Kondo's user-side runtime (paper §III).
+
+    Boots an image in a directory, opens its (possibly debloated) data
+    files, and serves reads.  An access to a carved-away offset raises
+    the data-missing exception — or, when remote fallback is enabled
+    (§VI), transparently fetches the value from the original file at its
+    source location, as a container runtime would pull missing offsets
+    from a remote server.  Statistics record how often either happened. *)
+
+type stats = {
+  mutable reads : int;          (** element reads served *)
+  mutable misses : int;         (** reads that hit carved-away data *)
+  mutable remote_fetches : int; (** misses satisfied remotely *)
+  mutable remote_bytes : int;   (** bytes pulled from the remote source *)
+}
+
+type t
+
+val boot : ?tracer:Tracer.t -> ?remote:bool -> image:Image.t -> dir:string -> unit -> t
+(** Materialize the image's data layers under [dir] and open them.
+    [remote] (default false) enables fallback to each data dependency's
+    [src] file.  [tracer] audits the container's reads. *)
+
+val read_element : t -> dst:string -> dataset:string -> int array -> float
+(** @raise Kondo_h5.File.Data_missing when the offset was carved away
+    and remote fallback is off or the source file is unavailable. *)
+
+val read_slab :
+  t -> dst:string -> dataset:string -> Hyperslab.t -> (int array -> float -> unit) -> unit
+
+val file : t -> dst:string -> Kondo_h5.File.t
+(** Direct access to an opened data file. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit

@@ -1,0 +1,134 @@
+type data_dep = { src : string; dst : string }
+
+type t = {
+  base : string;
+  env_deps : string list;
+  data_deps : data_dep list;
+  param_space : (float * float) array;
+  entrypoint : string option;
+  cmd : string list;
+}
+
+let empty =
+  { base = ""; env_deps = []; data_deps = []; param_space = [||]; entrypoint = None; cmd = [] }
+
+let strip s = String.trim s
+
+let split_on_commas s = List.map strip (String.split_on_char ',' s)
+
+let unbracket s =
+  let s = strip s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '[' && s.[n - 1] = ']' then Ok (String.sub s 1 (n - 2))
+  else Error "expected [...]"
+
+(* A range token is lo-hi where each bound is a decimal number; the '-'
+   separating the bounds is the first '-' that is not a leading sign and
+   not immediately after an exponent/sign position. *)
+let parse_range tok =
+  let tok = strip tok in
+  let n = String.length tok in
+  let rec find_sep i =
+    if i >= n then None
+    else if tok.[i] = '-' && i > 0 && tok.[i - 1] <> 'e' && tok.[i - 1] <> 'E' then Some i
+    else find_sep (i + 1)
+  in
+  match find_sep 1 with
+  | None -> Error (Printf.sprintf "bad range %S" tok)
+  | Some i -> (
+    let a = strip (String.sub tok 0 i) and b = strip (String.sub tok (i + 1) (n - i - 1)) in
+    match (float_of_string_opt a, float_of_string_opt b) with
+    | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+    | Some _, Some _ -> Error (Printf.sprintf "range %S: lo > hi" tok)
+    | _ -> Error (Printf.sprintf "bad range %S" tok))
+
+let parse_param_ranges s =
+  match unbracket s with
+  | Error e -> Error e
+  | Ok inner ->
+    let toks = split_on_commas inner in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | tok :: rest -> ( match parse_range tok with Ok r -> go (r :: acc) rest | Error e -> Error e)
+    in
+    go [] toks
+
+let parse_quoted_list s =
+  (* ["a", "b"] or bare tokens *)
+  match unbracket s with
+  | Error e -> Error e
+  | Ok inner ->
+    let clean tok =
+      let tok = strip tok in
+      let n = String.length tok in
+      if n >= 2 && tok.[0] = '"' && tok.[n - 1] = '"' then String.sub tok 1 (n - 2) else tok
+    in
+    Ok (List.map clean (split_on_commas inner))
+
+let directive line =
+  match String.index_opt line ' ' with
+  | None -> (String.uppercase_ascii (strip line), "")
+  | Some i ->
+    ( String.uppercase_ascii (String.sub line 0 i),
+      strip (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go spec lineno = function
+    | [] ->
+      Ok
+        { spec with
+          env_deps = List.rev spec.env_deps;
+          data_deps = List.rev spec.data_deps;
+          cmd = List.rev spec.cmd }
+    | raw :: rest -> (
+      let line = strip raw in
+      if line = "" || line.[0] = '#' then go spec (lineno + 1) rest
+      else begin
+        let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+        match directive line with
+        | "FROM", arg -> go { spec with base = arg } (lineno + 1) rest
+        | ("RUN" | "WORKDIR" | "ENV"), arg ->
+          go { spec with env_deps = arg :: spec.env_deps } (lineno + 1) rest
+        | "ADD", arg -> (
+          match String.split_on_char ' ' arg |> List.filter (fun s -> s <> "") with
+          | [ src; dst ] ->
+            go { spec with data_deps = { src; dst } :: spec.data_deps } (lineno + 1) rest
+          | _ -> err "ADD expects source and destination")
+        | "PARAM", arg -> (
+          match parse_param_ranges arg with
+          | Ok ranges -> go { spec with param_space = ranges } (lineno + 1) rest
+          | Error e -> err e)
+        | "ENTRYPOINT", arg -> (
+          match parse_quoted_list arg with
+          | Ok [ exe ] -> go { spec with entrypoint = Some exe } (lineno + 1) rest
+          | Ok _ -> err "ENTRYPOINT expects one executable"
+          | Error e -> err e)
+        | "CMD", arg -> (
+          match parse_quoted_list arg with
+          | Ok args -> go { spec with cmd = List.rev args } (lineno + 1) rest
+          | Error e -> err e)
+        | d, _ -> err (Printf.sprintf "unknown directive %S" d)
+      end)
+  in
+  go empty 1 lines
+
+let to_string t =
+  let b = Buffer.create 256 in
+  if t.base <> "" then Buffer.add_string b (Printf.sprintf "FROM %s\n" t.base);
+  List.iter (fun e -> Buffer.add_string b (Printf.sprintf "RUN %s\n" e)) t.env_deps;
+  List.iter (fun d -> Buffer.add_string b (Printf.sprintf "ADD %s %s\n" d.src d.dst)) t.data_deps;
+  if Array.length t.param_space > 0 then begin
+    let ranges =
+      Array.to_list (Array.map (fun (lo, hi) -> Printf.sprintf "%g-%g" lo hi) t.param_space)
+    in
+    Buffer.add_string b (Printf.sprintf "PARAM [%s]\n" (String.concat ", " ranges))
+  end;
+  (match t.entrypoint with
+  | Some exe -> Buffer.add_string b (Printf.sprintf "ENTRYPOINT [\"%s\"]\n" exe)
+  | None -> ());
+  if t.cmd <> [] then
+    Buffer.add_string b (Printf.sprintf "CMD [%s]\n" (String.concat ", " t.cmd));
+  Buffer.contents b
+
+let data_dep_for t dst = List.find_opt (fun d -> String.equal d.dst dst) t.data_deps

@@ -1,0 +1,45 @@
+(** Container specifications (paper Fig. 2a).
+
+    A specification lists environment dependencies (E's, from [RUN]
+    lines), data dependencies (D's, from [ADD] lines), the entry
+    executable (X̄), its supported parameter space (Θ, from the [PARAM]
+    line) and a default command.  The concrete syntax is the Dockerfile
+    dialect of Fig. 2:
+
+    {v
+    FROM ubuntu:20.04
+    RUN apt-get install -y libhdf5-dev
+    ADD ./mnist.h5 /stencil/mnist.h5
+    PARAM [0-30, 300.00-1200.00, 0-50]
+    ENTRYPOINT ["/stencil/CS"]
+    CMD [30, 550.0, 10, /stencil/mnist.h5]
+    v} *)
+
+type data_dep = { src : string; dst : string }
+
+type t = {
+  base : string;                      (** FROM image *)
+  env_deps : string list;             (** RUN command lines, in order *)
+  data_deps : data_dep list;          (** ADD source/destination pairs *)
+  param_space : (float * float) array;(** inclusive ranges from PARAM *)
+  entrypoint : string option;
+  cmd : string list;
+}
+
+val empty : t
+
+val parse : string -> (t, string) result
+(** Parse specification text.  Unknown directives and malformed lines
+    produce [Error] with a line-numbered message; comments ([#]) and
+    blank lines are skipped.  [WORKDIR]/[ENV] lines are accepted and
+    folded into [env_deps]. *)
+
+val parse_param_ranges : string -> ((float * float) array, string) result
+(** Parse the bracketed range list of a PARAM directive, e.g.
+    ["[0-30, 300.00-1200.00, 0-50]"]. *)
+
+val to_string : t -> string
+(** Render back in the Fig. 2 dialect. *)
+
+val data_dep_for : t -> string -> data_dep option
+(** Look up a data dependency by destination path. *)

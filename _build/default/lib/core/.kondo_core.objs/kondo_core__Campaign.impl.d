@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Bytes Carver Config Fun Index_set Int32 Kondo_dataarray Kondo_workload Program Schedule Shape String

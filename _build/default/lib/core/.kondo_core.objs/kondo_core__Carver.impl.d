@@ -1,0 +1,1 @@
+lib/core/carver.ml: Array Config Hashtbl Hull Index_set Kondo_dataarray Kondo_geometry List Shape

@@ -1,0 +1,1 @@
+lib/core/carver.mli: Config Hull Index_set Kondo_dataarray Kondo_geometry Shape

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Kondo_geometry List Vec

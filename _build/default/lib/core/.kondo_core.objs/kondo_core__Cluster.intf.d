@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Kondo_geometry Vec

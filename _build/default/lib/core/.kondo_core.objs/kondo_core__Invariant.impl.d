@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Array Carver Float Hull Kondo_geometry List Printf String

@@ -1,0 +1,1 @@
+lib/core/invariant.mli: Carver Hull Kondo_geometry

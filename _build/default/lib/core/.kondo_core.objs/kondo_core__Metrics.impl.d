@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Float Index_set Kondo_dataarray Kondo_prng Kondo_workload Program Rng

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Index_set Kondo_dataarray Kondo_workload Program

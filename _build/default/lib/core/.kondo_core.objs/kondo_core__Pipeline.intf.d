@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Carver Config Index_set Interval_set Kondo_container Kondo_dataarray Kondo_interval Kondo_workload Layout Metrics Program Schedule

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Carver Char Float Index_set Kondo_dataarray Kondo_workload List Metrics Pipeline Printf Program Schedule Shape String

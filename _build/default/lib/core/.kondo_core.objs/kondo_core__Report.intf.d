@@ -1,0 +1,1 @@
+lib/core/report.mli: Kondo_workload Metrics Pipeline Program Schedule

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Cluster Config Float Hashtbl Index_set Kondo_dataarray Kondo_prng Kondo_workload List Program Queue Rng String Unix

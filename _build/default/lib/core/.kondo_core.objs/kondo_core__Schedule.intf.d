@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Config Index_set Kondo_dataarray Kondo_workload Program

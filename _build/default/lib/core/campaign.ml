@@ -1,0 +1,65 @@
+open Kondo_dataarray
+open Kondo_workload
+
+type t = { name : string; rounds : int; observed : Index_set.t }
+
+let fresh p =
+  { name = p.Program.name; rounds = 0; observed = Index_set.create p.Program.shape }
+
+let observed t = t.observed
+let rounds t = t.rounds
+let program_name t = t.name
+
+let extend ~config p t k =
+  if not (String.equal t.name p.Program.name) then invalid_arg "Campaign.extend: program mismatch";
+  let observed = Index_set.copy t.observed in
+  for round = t.rounds + 1 to t.rounds + k do
+    let r = Schedule.run ~config:(Config.with_seed config (config.Config.seed + round)) p in
+    Index_set.union_into observed r.Schedule.indices
+  done;
+  { t with rounds = t.rounds + k; observed }
+
+let carve ~config p t =
+  let result = Carver.carve ~config t.observed in
+  let approx = Carver.rasterize p.Program.shape result.Carver.hulls in
+  Index_set.union_into approx t.observed;
+  approx
+
+let magic = "KCAM\x01"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let name = Bytes.of_string t.name in
+      let hdr = Bytes.create 8 in
+      Bytes.set_int32_le hdr 0 (Int32.of_int t.rounds);
+      Bytes.set_int32_le hdr 4 (Int32.of_int (Bytes.length name));
+      output_bytes oc hdr;
+      output_bytes oc name;
+      output_bytes oc (Index_set.to_bytes t.observed))
+
+let load p path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let head = really_input_string ic (String.length magic) in
+      if head <> magic then invalid_arg "Campaign.load: bad magic";
+      let hdr = Bytes.create 8 in
+      really_input ic hdr 0 8;
+      let rounds = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      let name_len = Int32.to_int (Bytes.get_int32_le hdr 4) in
+      if name_len < 0 || name_len > 4096 then invalid_arg "Campaign.load: bad name";
+      let name = really_input_string ic name_len in
+      if not (String.equal name p.Program.name) then
+        invalid_arg "Campaign.load: campaign belongs to a different program";
+      let rest_len = in_channel_length ic - pos_in ic in
+      let rest = Bytes.create rest_len in
+      really_input ic rest 0 rest_len;
+      let observed = Index_set.of_bytes rest in
+      if not (Shape.equal (Index_set.shape observed) p.Program.shape) then
+        invalid_arg "Campaign.load: shape mismatch";
+      { name; rounds; observed })

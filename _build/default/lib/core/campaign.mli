@@ -1,0 +1,32 @@
+open Kondo_dataarray
+open Kondo_workload
+
+(** Resumable fuzzing campaigns.
+
+    §VI suggests closing the recall gap by "let[ting] Kondo run for some
+    more time": a campaign accumulates the observed index set across any
+    number of fuzzing rounds — each round a full Alg. 1 schedule with a
+    fresh seed — and persists the accumulated state to disk so later
+    sessions extend, rather than restart, the exploration.  Carving is
+    deferred to the moment a debloated file is actually produced. *)
+
+type t
+
+val fresh : Program.t -> t
+
+val observed : t -> Index_set.t
+val rounds : t -> int
+val program_name : t -> string
+
+val extend : config:Config.t -> Program.t -> t -> int -> t
+(** [extend ~config p t k] runs [k] more schedule rounds (seeds continue
+    from the campaign's round counter) and folds their discoveries in. *)
+
+val carve : config:Config.t -> Program.t -> t -> Index_set.t
+(** Carve the accumulated observations into the current [I'_Θ]. *)
+
+val save : t -> string -> unit
+
+val load : Program.t -> string -> t
+(** @raise Invalid_argument when the file belongs to a different program
+    or shape, or is malformed. *)

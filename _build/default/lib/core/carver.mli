@@ -1,0 +1,38 @@
+open Kondo_dataarray
+open Kondo_geometry
+
+(** The convex-hull carver (paper Algorithm 2).
+
+    SPLIT the observed index points into fixed-size grid cells, compute
+    one convex hull per non-empty cell, then repeatedly merge hulls that
+    are CLOSE — center distance and/or minimum vertex distance under the
+    configured thresholds — until no pair is close.  The output hull set
+    approximates [I_Θ] for subsets of arbitrary shape (overlapping,
+    disjoint, or with holes).
+
+    Cells holding more than [max_cell_points] points feed the hull a
+    deterministic stride sample augmented with the per-axis extreme
+    points (hull vertices are extreme, so the sample rarely changes the
+    result; see DESIGN.md §4). *)
+
+type result = {
+  hulls : Hull.t list;
+  initial_cells : int;   (** non-empty cells = hulls before merging *)
+  merge_rounds : int;    (** sweeps of the merge loop *)
+  merges : int;          (** pairs merged *)
+}
+
+val carve : config:Config.t -> Index_set.t -> result
+
+val carve_points : config:Config.t -> dims:int array -> int array list -> result
+(** Same, from an explicit point list. *)
+
+val single_hull : Index_set.t -> Hull.t option
+(** The Simple Convex baseline: one hull over all points, no cells, no
+    merge ([None] when the set is empty). *)
+
+val rasterize : Shape.t -> Hull.t list -> Index_set.t
+(** All integer indices covered by the hulls, clipped to the shape. *)
+
+val close : config:Config.t -> Hull.t -> Hull.t -> bool
+(** The CLOSE predicate under the configured merge policy. *)

@@ -1,0 +1,29 @@
+open Kondo_geometry
+
+type entry = { mutable center : Vec.t; mutable members : int }
+
+type t = { diameter : float; mutable entries : entry list }
+
+let create ~diameter = { diameter; entries = [] }
+
+let nearest_entry t v =
+  List.fold_left
+    (fun best e ->
+      let d = Vec.dist e.center v in
+      match best with Some (_, bd) when bd <= d -> best | _ -> Some (e, d))
+    None t.entries
+
+let add t v =
+  match nearest_entry t v with
+  | Some (e, d) when d <= t.diameter ->
+    let k = float_of_int e.members in
+    e.center <- Array.mapi (fun i c -> ((c *. k) +. v.(i)) /. (k +. 1.0)) e.center;
+    e.members <- e.members + 1
+  | Some _ | None -> t.entries <- { center = Array.copy v; members = 1 } :: t.entries
+
+let nearest t v =
+  match nearest_entry t v with None -> None | Some (e, d) -> Some (e.center, d)
+
+let centers t = List.map (fun e -> e.center) t.entries
+let count t = List.length t.entries
+let total_members t = List.fold_left (fun acc e -> acc + e.members) 0 t.entries

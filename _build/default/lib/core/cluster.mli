@@ -1,0 +1,24 @@
+open Kondo_geometry
+
+(** Parameter-value clusters for the boundary-based EE schedule.
+
+    The schedule keeps two cluster collections — useful and non-useful
+    parameter values (paper §IV-A2).  ADD_TO_CLUSTER computes the minimum
+    Euclidean distance of a value to the existing centers of the same
+    type: beyond the configured diameter the value founds a new cluster,
+    otherwise it joins the nearest one, whose center becomes the running
+    mean of its members. *)
+
+type t
+
+val create : diameter:float -> t
+
+val add : t -> Vec.t -> unit
+(** ADD_TO_CLUSTER. *)
+
+val nearest : t -> Vec.t -> (Vec.t * float) option
+(** Nearest cluster center and its distance; [None] while empty. *)
+
+val centers : t -> Vec.t list
+val count : t -> int
+val total_members : t -> int

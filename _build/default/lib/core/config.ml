@@ -1,0 +1,73 @@
+type schedule_kind = Ee | Boundary_ee
+
+type merge_policy = Either | Both | Center_only | Boundary_only
+
+type t = {
+  seed : int;
+  n_init : int;
+  schedule : schedule_kind;
+  max_iter : int;
+  stop_iter : int;
+  u_reps : int;
+  n_reps : int;
+  u_dist : float * float;
+  n_dist : float * float;
+  diameter : float;
+  restart : int;
+  decay_iter : int;
+  decay : float;
+  epsilon0 : float;
+  time_budget : float option;
+  cell_size : int option;
+  max_cell_points : int;
+  center_d_thresh : float;
+  bound_d_thresh : float;
+  merge_policy : merge_policy;
+  autoscale : bool;
+  reference_extent : float;
+}
+
+let default =
+  { seed = 1;
+    n_init = 20;
+    schedule = Boundary_ee;
+    max_iter = 2000;
+    stop_iter = 500;
+    u_reps = 8;
+    n_reps = 5;
+    u_dist = (5.0, 15.0);
+    n_dist = (30.0, 50.0);
+    diameter = 20.0;
+    restart = 250;
+    decay_iter = 200;
+    decay = 0.97;
+    epsilon0 = 1.0;
+    time_budget = None;
+    cell_size = None;
+    max_cell_points = 2048;
+    center_d_thresh = 20.0;
+    bound_d_thresh = 10.0;
+    merge_policy = Either;
+    autoscale = true;
+    reference_extent = 128.0 }
+
+let with_seed t seed = { t with seed }
+
+let scale_for t extent =
+  if not t.autoscale then 1.0
+  else Float.max 0.25 (Float.min 32.0 (extent /. Float.max 1.0 t.reference_extent))
+
+let auto_cell_size t dims =
+  match t.cell_size with
+  | Some s -> s
+  | None ->
+    let maxd = Array.fold_left max 1 dims in
+    max 8 (maxd / 16)
+
+let merge_policy_name = function
+  | Either -> "either"
+  | Both -> "both"
+  | Center_only -> "center-only"
+  | Boundary_only -> "boundary-only"
+
+let schedule_name = function Ee -> "EE" | Boundary_ee -> "boundary-EE"

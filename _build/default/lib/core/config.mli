@@ -1,0 +1,65 @@
+(** Kondo configuration (paper Fig. 5 plus carver controls).
+
+    Defaults are the paper's evaluation settings (§V-B): [u_reps = 8],
+    [n_reps = 5], [max_iter = 2000], [stop_iter = 500], [u_dist = \[5,15\]],
+    [n_dist = \[30,50\]], [decay = 0.97] every 200 iterations starting from
+    ε = 1, hull thresholds [center_d_thresh = 20] / [bound_d_thresh = 10].
+    Values the paper does not pin down ([diameter], [restart], carver cell
+    size) get documented defaults; see DESIGN.md §4. *)
+
+type schedule_kind =
+  | Ee           (** plain exploit/explore: ε stays 1, no boundary moves *)
+  | Boundary_ee  (** ε-greedy transition into boundary-based mutation *)
+
+type merge_policy =
+  | Either        (** merge when center {e or} boundary distance is close *)
+  | Both          (** merge only when both are close *)
+  | Center_only
+  | Boundary_only
+
+type t = {
+  seed : int;               (** PRNG seed; same seed → same run *)
+  n_init : int;             (** initial uniform samples (the paper's n) *)
+  schedule : schedule_kind;
+  max_iter : int;
+  stop_iter : int;          (** stop after this many iterations without a new offset *)
+  u_reps : int;
+  n_reps : int;
+  u_dist : float * float;
+  n_dist : float * float;
+  diameter : float;         (** cluster diameter for ADD_TO_CLUSTER *)
+  restart : int;            (** random-restart period in iterations *)
+  decay_iter : int;
+  decay : float;
+  epsilon0 : float;
+  time_budget : float option;  (** wall-clock seconds; [None] = unbounded *)
+  cell_size : int option;   (** carver grid cell edge; [None] = auto *)
+  max_cell_points : int;    (** per-cell sampling cap fed to hull construction *)
+  center_d_thresh : float;
+  bound_d_thresh : float;
+  merge_policy : merge_policy;
+  autoscale : bool;
+      (** scale the distance-typed parameters ([u_dist], [n_dist],
+          [diameter], merge thresholds) with the extent of the space they
+          act on, relative to [reference_extent].  §V-D4 reports recall
+          stable as the data file grows under one configuration, which
+          requires frames and thresholds to track the space (DESIGN.md
+          §4). *)
+  reference_extent : float;  (** the extent the Fig. 5 values were tuned for (128) *)
+}
+
+val default : t
+
+val scale_for : t -> float -> float
+(** [scale_for t extent] is the multiplier applied to distance-typed
+    values for a space of the given extent: [extent /. reference_extent]
+    clamped to [\[0.25, 32\]], or [1.0] when [autoscale] is off. *)
+
+val with_seed : t -> int -> t
+
+val auto_cell_size : t -> int array -> int
+(** The cell edge used for a given array shape: [cell_size] when set,
+    else [max 8 (max_dim / 16)]. *)
+
+val merge_policy_name : merge_policy -> string
+val schedule_name : schedule_kind -> string

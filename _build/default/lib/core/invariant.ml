@@ -1,0 +1,59 @@
+open Kondo_geometry
+
+type t = Hull.halfspace list list
+
+let of_hulls hulls = List.map Hull.halfspaces hulls
+
+let of_carve (r : Carver.result) = of_hulls r.Carver.hulls
+
+let clauses t = t
+
+let satisfies ?eps t x = List.exists (fun clause -> Hull.satisfies_halfspaces ?eps clause x) t
+
+let satisfies_int ?eps t idx = satisfies ?eps t (Array.map float_of_int idx)
+
+let constraint_count t = List.fold_left (fun acc c -> acc + List.length c) 0 t
+
+let default_name k = match k with 0 -> "i" | 1 -> "j" | 2 -> "k" | _ -> Printf.sprintf "x%d" k
+
+let term_to_string names coeffs =
+  let parts = ref [] in
+  Array.iteri
+    (fun k c ->
+      if Float.abs c > 1e-12 then begin
+        let name = names k in
+        let part =
+          if c = 1.0 then name
+          else if c = -1.0 then "-" ^ name
+          else Printf.sprintf "%g*%s" c name
+        in
+        parts := part :: !parts
+      end)
+    coeffs;
+  match List.rev !parts with
+  | [] -> "0"
+  | first :: rest ->
+    List.fold_left
+      (fun acc p ->
+        if String.length p > 0 && p.[0] = '-' then
+          acc ^ " - " ^ String.sub p 1 (String.length p - 1)
+        else acc ^ " + " ^ p)
+      first rest
+
+let constraint_to_string names (h : Hull.halfspace) =
+  Printf.sprintf "%s %s %g" (term_to_string names h.Hull.coeffs)
+    (if h.Hull.equality then "=" else "<=")
+    h.Hull.rhs
+
+let to_string ?names t =
+  let name k =
+    match names with Some a when k < Array.length a -> a.(k) | Some _ | None -> default_name k
+  in
+  match t with
+  | [] -> "false"
+  | _ ->
+    String.concat "\n\\/ "
+      (List.map
+         (fun clause ->
+           "(" ^ String.concat " /\\ " (List.map (constraint_to_string name) clause) ^ ")")
+         t)

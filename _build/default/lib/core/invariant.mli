@@ -1,0 +1,33 @@
+open Kondo_geometry
+
+(** Carved subsets as disjunctive linear invariants.
+
+    §VII relates Kondo to invariant inference: the carved hull set is "an
+    invariant involving the array access subscripts", and — unlike
+    Daikon/DIG-style conjunctive inference — it is {e disjunctive}: a
+    union of convex polytopes.  This module renders a carve result as
+    exactly that formula, one clause of linear constraints per hull, so
+    the inferred data subset can be read, logged, or compared like any
+    other invariant. *)
+
+type t
+(** A disjunction of conjunctions of linear constraints over the index
+    variables. *)
+
+val of_hulls : Hull.t list -> t
+
+val of_carve : Carver.result -> t
+
+val clauses : t -> Hull.halfspace list list
+
+val satisfies : ?eps:float -> t -> float array -> bool
+(** [satisfies t x]: does some clause hold at [x]?  Agrees with hull
+    membership. *)
+
+val satisfies_int : ?eps:float -> t -> int array -> bool
+
+val constraint_count : t -> int
+
+val to_string : ?names:string array -> t -> string
+(** Pretty form, e.g. [(i <= j + 1 /\ i >= 0) \/ (...)]; variable names
+    default to i, j, k, x3, x4... *)

@@ -1,0 +1,31 @@
+open Kondo_dataarray
+open Kondo_workload
+
+(** Accuracy metrics (paper §V-C).
+
+    With ground truth [I_Θ] and Kondo's approximation [I'_Θ]:
+    precision = |I_Θ ∩ I'_Θ| / |I'_Θ|, recall = |I_Θ ∩ I'_Θ| / |I_Θ|.
+    The identified bloat fraction is |I − I'_Θ| / |I| over the whole
+    index space [I] (Fig. 9). *)
+
+val precision : truth:Index_set.t -> approx:Index_set.t -> float
+(** 1.0 when [approx] is empty (nothing wrongly included). *)
+
+val recall : truth:Index_set.t -> approx:Index_set.t -> float
+(** 1.0 when [truth] is empty. *)
+
+val bloat_fraction : Index_set.t -> float
+(** [|I - S| / |I|] for a subset [S] of index space [I]. *)
+
+val f1 : truth:Index_set.t -> approx:Index_set.t -> float
+
+val missed_valuation_rate :
+  ?max_enumerate:int -> ?sample:int -> ?seed:int -> Program.t -> approx:Index_set.t -> float
+(** Fraction of parameter valuations [v ∈ Θ] whose run would hit at least
+    one missed access ([I_v ⊄ I'_Θ], §V-D1).  Enumerates Θ exactly when
+    [|Θ| <= max_enumerate] (default 100_000), else uniformly samples
+    [sample] valuations (default 20_000). *)
+
+type accuracy = { precision : float; recall : float; f1 : float; bloat : float }
+
+val accuracy : truth:Index_set.t -> approx:Index_set.t -> accuracy

@@ -1,0 +1,104 @@
+open Kondo_dataarray
+open Kondo_interval
+open Kondo_workload
+
+type report = {
+  program : string;
+  fuzz : Schedule.result;
+  carve : Carver.result;
+  approx : Index_set.t;
+  accuracy : Metrics.accuracy option;
+  elapsed : float;
+}
+
+let approximate ~config p =
+  let t0 = Unix.gettimeofday () in
+  let fuzz = Schedule.run ~config p in
+  let carve = Carver.carve ~config fuzz.Schedule.indices in
+  let approx = Carver.rasterize p.Program.shape carve.Carver.hulls in
+  (* Observed indices are certainly required; hulls contain their own
+     input points, but numerical eps could drop a boundary point. *)
+  Index_set.union_into approx fuzz.Schedule.indices;
+  { program = p.Program.name;
+    fuzz;
+    carve;
+    approx;
+    accuracy = None;
+    elapsed = Unix.gettimeofday () -. t0 }
+
+let evaluate ~config p =
+  let r = approximate ~config p in
+  let truth = Program.ground_truth p in
+  { r with accuracy = Some (Metrics.accuracy ~truth ~approx:r.approx) }
+
+let keep_intervals p approx ~layout =
+  let shape = p.Program.shape in
+  let dtype = p.Program.dtype in
+  let esz = Kondo_dataarray.Dtype.size dtype in
+  let offsets = ref [] in
+  Index_set.iter approx (fun idx ->
+      offsets := Layout.element_offset layout shape dtype idx :: !offsets);
+  let sorted = List.sort compare !offsets in
+  Interval_set.of_sorted (List.map (fun off -> Interval.make off (off + esz)) sorted)
+
+let debloat_file ~config p ~src ~dst =
+  let report = approximate ~config p in
+  let source = Kondo_h5.File.open_file src in
+  Fun.protect
+    ~finally:(fun () -> Kondo_h5.File.close source)
+    (fun () ->
+      let ds = Kondo_h5.File.find source p.Program.dataset in
+      let keep_set = keep_intervals p report.approx ~layout:ds.Kondo_h5.Dataset.layout in
+      Kondo_h5.Writer.write_debloated dst ~source ~keep:(fun name ->
+          if String.equal name p.Program.dataset then keep_set else Interval_set.empty);
+      report)
+
+let debloat_file_many ~config programs ~src ~dst =
+  let reports = List.map (fun p -> (p, approximate ~config p)) programs in
+  let source = Kondo_h5.File.open_file src in
+  Fun.protect
+    ~finally:(fun () -> Kondo_h5.File.close source)
+    (fun () ->
+      let keep_for name =
+        List.fold_left
+          (fun acc (p, report) ->
+            if String.equal p.Program.dataset name then begin
+              let ds = Kondo_h5.File.find source name in
+              Interval_set.union acc
+                (keep_intervals p report.approx ~layout:ds.Kondo_h5.Dataset.layout)
+            end
+            else acc)
+          Interval_set.empty reports
+      in
+      Kondo_h5.Writer.write_debloated dst ~source ~keep:keep_for;
+      List.map (fun (p, report) -> (p.Program.name, report)) reports)
+
+let debloat_image ~config p ~image ~dst =
+  let report = approximate ~config p in
+  match Kondo_container.Image.data_content image ~dst with
+  | None -> raise Not_found
+  | Some content ->
+    let tmp_src = Filename.temp_file "kondo_full" ".kh5" in
+    let tmp_dst = Filename.temp_file "kondo_debloat" ".kh5" in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Sys.remove tmp_src with Sys_error _ -> ());
+        try Sys.remove tmp_dst with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin tmp_src in
+        output_bytes oc content;
+        close_out oc;
+        let source = Kondo_h5.File.open_file tmp_src in
+        Fun.protect
+          ~finally:(fun () -> Kondo_h5.File.close source)
+          (fun () ->
+            let ds = Kondo_h5.File.find source p.Program.dataset in
+            let keep_set = keep_intervals p report.approx ~layout:ds.Kondo_h5.Dataset.layout in
+            Kondo_h5.Writer.write_debloated tmp_dst ~source ~keep:(fun name ->
+                if String.equal name p.Program.dataset then keep_set else Interval_set.empty));
+        let ic = open_in_bin tmp_dst in
+        let len = in_channel_length ic in
+        let debloated = Bytes.create len in
+        really_input ic debloated 0 len;
+        close_in ic;
+        (Kondo_container.Image.replace_data image ~dst debloated, report))

@@ -1,0 +1,29 @@
+open Kondo_workload
+
+(** Structured run reports.
+
+    Renders pipeline results as human-readable text or machine-readable
+    JSON (emitted by a small self-contained serializer — no external
+    dependency), for the CLI, CI pipelines, and the experiment logs. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:int -> t -> string
+  (** Serialize with proper string escaping; [indent > 0] pretty-prints. *)
+end
+
+val pipeline_json : ?accuracy:Metrics.accuracy -> Program.t -> Pipeline.report -> Json.t
+(** Everything a run produced: program metadata, fuzzing counters, carve
+    statistics, subset size, and (when supplied or present) accuracy. *)
+
+val pipeline_text : ?accuracy:Metrics.accuracy -> Program.t -> Pipeline.report -> string
+
+val schedule_json : Schedule.result -> Json.t

@@ -1,0 +1,170 @@
+open Kondo_prng
+open Kondo_dataarray
+open Kondo_workload
+
+type stop_reason = Max_iterations | Stagnation | Time_budget
+
+type outcome = { iter : int; params : float array; useful : bool; new_offsets : int }
+
+type result = {
+  indices : Index_set.t;
+  trace : outcome list;
+  iterations : int;
+  evaluations : int;
+  useful_count : int;
+  stopped : stop_reason;
+  elapsed : float;
+}
+
+let key_of_params v = Array.to_list (Array.map (fun x -> int_of_float (Float.round x)) v)
+
+let uniform_sample rng space =
+  Array.map (fun (lo, hi) -> Float.round (Rng.float_in rng lo hi)) space
+
+let clamp space v =
+  Array.mapi
+    (fun k x ->
+      let lo, hi = space.(k) in
+      Float.max lo (Float.min hi (Float.round x)))
+    v
+
+(* Plain exploit/explore: jump within a frame whose radius is drawn from
+   [dist] independently per dimension. *)
+let uniform_frame rng space v (dlo, dhi) =
+  clamp space
+    (Array.map
+       (fun x ->
+         let d = Rng.float_in rng dlo dhi in
+         x +. Rng.float_in rng (-.d) d)
+       v)
+
+(* Boundary-based move: step toward the nearest opposite-type cluster
+   center, frame scaled by the distance to it — far from the boundary we
+   take long strides, near it we densify (paper §IV-A2). *)
+let greedy_frame rng space v center dist_to_center (dlo, dhi) diameter =
+  let scale = Float.max 0.25 (Float.min 4.0 (dist_to_center /. Float.max diameter 1.0)) in
+  let frame = Rng.float_in rng dlo dhi *. scale in
+  let toward = Rng.float rng 1.0 in
+  clamp space
+    (Array.mapi
+       (fun k x ->
+         let dir = center.(k) -. x in
+         let len = Float.max 1.0 dist_to_center in
+         x +. (dir /. len *. frame *. toward) +. Rng.float_in rng (-.frame /. 2.0) (frame /. 2.0))
+       v)
+
+let run_with_eval ~config p ~eval =
+  let cfg : Config.t = config in
+  (* Frames and the cluster diameter track the parameter-space extent
+     (Config.autoscale): the Fig. 5 distances are tuned for extent 128. *)
+  let cfg =
+    let extent =
+      Array.fold_left
+        (fun acc (lo, hi) -> Float.max acc (hi -. lo))
+        1.0 p.Program.param_space
+    in
+    let s = Config.scale_for cfg extent in
+    let sc (a, b) = (a *. s, b *. s) in
+    { cfg with
+      Config.u_dist = sc cfg.Config.u_dist;
+      n_dist = sc cfg.Config.n_dist;
+      diameter = cfg.Config.diameter *. s }
+  in
+  let rng = Rng.create cfg.Config.seed in
+  let space = p.Program.param_space in
+  let is = Index_set.create p.Program.shape in
+  let queue : float array Queue.t = Queue.create () in
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let cl_u = Cluster.create ~diameter:cfg.Config.diameter in
+  let cl_n = Cluster.create ~diameter:cfg.Config.diameter in
+  let trace = ref [] in
+  let evaluations = ref 0 in
+  let useful_count = ref 0 in
+  let new_itr = ref 0 in
+  let epsilon = ref cfg.Config.epsilon0 in
+  let t0 = Unix.gettimeofday () in
+  let enqueue v =
+    let key = key_of_params v in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.add v queue
+    end
+  in
+  let random_restart () =
+    Queue.clear queue;
+    (* Restarted seeds bypass the seen-filter: localization is broken by
+       force-reseeding even if a value was proposed before. *)
+    for _ = 1 to cfg.Config.n_init do
+      Queue.add (uniform_sample rng space) queue
+    done
+  in
+  let mutate v useful =
+    let dist = if useful then cfg.Config.u_dist else cfg.Config.n_dist in
+    let reps = if useful then cfg.Config.u_reps else cfg.Config.n_reps in
+    List.init reps (fun _ ->
+        if cfg.Config.schedule = Config.Ee || Rng.bernoulli rng !epsilon then
+          uniform_frame rng space v dist
+        else begin
+          let opposite = if useful then cl_n else cl_u in
+          match Cluster.nearest opposite v with
+          | None -> uniform_frame rng space v dist
+          | Some (center, d) -> greedy_frame rng space v center d dist cfg.Config.diameter
+        end)
+  in
+  let stopped = ref Max_iterations in
+  let itr = ref 0 in
+  (try
+     random_restart ();
+     while !itr < cfg.Config.max_iter do
+       incr itr;
+       (match cfg.Config.time_budget with
+       | Some budget when Unix.gettimeofday () -. t0 > budget ->
+         stopped := Time_budget;
+         raise Exit
+       | _ -> ());
+       if Queue.is_empty queue || !itr mod cfg.Config.restart = 0 then random_restart ();
+       let v = Queue.pop queue in
+       Hashtbl.replace seen (key_of_params v) ();
+       let useful, fresh = eval v is in
+       incr evaluations;
+       if useful then incr useful_count;
+       trace := { iter = !itr; params = Array.copy v; useful; new_offsets = fresh } :: !trace;
+       if fresh > 0 then new_itr := 0 else incr new_itr;
+       if !new_itr >= cfg.Config.stop_iter then begin
+         stopped := Stagnation;
+         raise Exit
+       end;
+       if useful then Cluster.add cl_u v else Cluster.add cl_n v;
+       List.iter enqueue (mutate v useful);
+       if !itr mod cfg.Config.decay_iter = 0 then epsilon := !epsilon *. cfg.Config.decay
+     done
+   with Exit -> ());
+  { indices = is;
+    trace = List.rev !trace;
+    iterations = !itr;
+    evaluations = !evaluations;
+    useful_count = !useful_count;
+    stopped = !stopped;
+    elapsed = Unix.gettimeofday () -. t0 }
+
+(* Debloat-test evaluator that memoizes access plans: distinct parameter
+   values frequently share a plan (e.g. ARD's redundant temporal
+   parameter), and re-enumerating a large hyperslab contributes nothing. *)
+let plan_evaluator p =
+  let plans_seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  fun v is ->
+    let plan = p.Program.plan v in
+    match plan with
+    | [] -> (false, 0)
+    | slabs ->
+      let key = String.concat ";" (List.map Kondo_dataarray.Hyperslab.to_string slabs) in
+      let useful = Program.is_useful p v in
+      if Hashtbl.mem plans_seen key then (useful, 0)
+      else begin
+        Hashtbl.add plans_seen key ();
+        let before = Index_set.cardinal is in
+        List.iter (fun slab -> Index_set.add_slab is slab) slabs;
+        (useful, Index_set.cardinal is - before)
+      end
+
+let run ~config p = run_with_eval ~config p ~eval:(plan_evaluator p)

@@ -1,0 +1,41 @@
+open Kondo_dataarray
+open Kondo_workload
+
+(** The fuzz schedule (paper Algorithm 1).
+
+    Starting from [n_init] uniform samples of Θ, the schedule dequeues a
+    parameter value, runs the debloat test (recording the indices it
+    would access), clusters the value as useful or non-useful, and
+    enqueues mutants.  Mutation is ε-greedy between a plain
+    exploit/explore frame move and a boundary-directed move toward the
+    nearest opposite-type cluster; ε decays geometrically.  Random
+    restarts re-seed the queue every [restart] iterations.  The run
+    terminates on [max_iter], on [stop_iter] iterations without a newly
+    discovered offset, or on the wall-clock budget. *)
+
+type stop_reason = Max_iterations | Stagnation | Time_budget
+
+type outcome = { iter : int; params : float array; useful : bool; new_offsets : int }
+
+type result = {
+  indices : Index_set.t;      (** IS = ∪ I_v over all evaluated values *)
+  trace : outcome list;       (** evaluation order (Fig. 4's scatter data) *)
+  iterations : int;
+  evaluations : int;          (** debloat tests actually run *)
+  useful_count : int;
+  stopped : stop_reason;
+  elapsed : float;            (** seconds *)
+}
+
+val run : config:Config.t -> Program.t -> result
+(** Deterministic for a fixed [config.seed] (when no time budget cuts the
+    run short). *)
+
+val run_with_eval :
+  config:Config.t ->
+  Program.t ->
+  eval:(float array -> Index_set.t -> bool * int) ->
+  result
+(** Like {!run} but with a custom debloat test: [eval v is] runs the test
+    for [v], adds discovered indices into [is], and returns (useful,
+    newly-added count).  {!run} uses a plan-memoizing evaluator. *)

@@ -1,0 +1,1 @@
+lib/dataarray/bitset.ml: Array Bytes Char

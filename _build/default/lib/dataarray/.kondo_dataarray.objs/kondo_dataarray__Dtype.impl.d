@@ -1,0 +1,1 @@
+lib/dataarray/dtype.ml: Bytes Int32 Int64

@@ -1,0 +1,1 @@
+lib/dataarray/dtype.mli:

@@ -1,0 +1,1 @@
+lib/dataarray/hyperslab.ml: Array Option Printf Shape String

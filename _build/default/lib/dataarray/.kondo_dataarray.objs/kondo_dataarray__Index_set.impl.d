@@ -1,0 +1,1 @@
+lib/dataarray/index_set.ml: Array Bitset Bytes Hyperslab Int32 Kondo_prng List Shape

@@ -1,0 +1,1 @@
+lib/dataarray/index_set.mli: Hyperslab Kondo_prng Shape

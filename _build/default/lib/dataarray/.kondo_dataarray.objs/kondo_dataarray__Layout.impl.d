@@ -1,0 +1,1 @@
+lib/dataarray/layout.ml: Array Dtype Shape String

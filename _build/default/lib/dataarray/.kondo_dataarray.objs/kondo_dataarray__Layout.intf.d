@@ -1,0 +1,1 @@
+lib/dataarray/layout.mli: Dtype Shape

@@ -1,0 +1,52 @@
+type t = Int32 | Int64 | Float32 | Float64 | Long_double
+
+let size = function
+  | Int32 -> 4
+  | Int64 -> 8
+  | Float32 -> 4
+  | Float64 -> 8
+  | Long_double -> 16
+
+let to_string = function
+  | Int32 -> "int32"
+  | Int64 -> "int64"
+  | Float32 -> "float32"
+  | Float64 -> "float64"
+  | Long_double -> "long_double"
+
+let of_string = function
+  | "int32" -> Some Int32
+  | "int64" -> Some Int64
+  | "float32" -> Some Float32
+  | "float64" -> Some Float64
+  | "long_double" -> Some Long_double
+  | _ -> None
+
+let code = function Int32 -> 1 | Int64 -> 2 | Float32 -> 3 | Float64 -> 4 | Long_double -> 5
+
+let of_code = function
+  | 1 -> Some Int32
+  | 2 -> Some Int64
+  | 3 -> Some Float32
+  | 4 -> Some Float64
+  | 5 -> Some Long_double
+  | _ -> None
+
+let encode dt v buf off =
+  match dt with
+  | Int32 -> Bytes.set_int32_le buf off (Int32.of_float v)
+  | Int64 -> Bytes.set_int64_le buf off (Int64.of_float v)
+  | Float32 -> Bytes.set_int32_le buf off (Int32.bits_of_float v)
+  | Float64 -> Bytes.set_int64_le buf off (Int64.bits_of_float v)
+  | Long_double ->
+    Bytes.set_int64_le buf off (Int64.bits_of_float v);
+    Bytes.set_int64_le buf (off + 8) 0L
+
+let decode dt buf off =
+  match dt with
+  | Int32 -> Int32.to_float (Bytes.get_int32_le buf off)
+  | Int64 -> Int64.to_float (Bytes.get_int64_le buf off)
+  | Float32 -> Int32.float_of_bits (Bytes.get_int32_le buf off)
+  | Float64 | Long_double -> Int64.float_of_bits (Bytes.get_int64_le buf off)
+
+let all = [ Int32; Int64; Float32; Float64; Long_double ]

@@ -1,0 +1,34 @@
+(** Element datatypes of a data array.
+
+    The paper assumes 16-byte long doubles (§V-B); KH5 files support the
+    common numeric widths so the byte-offset arithmetic is exercised with
+    more than one element size. *)
+
+type t =
+  | Int32
+  | Int64
+  | Float32
+  | Float64
+  | Long_double  (** 16-byte extended float, stored as a float64 plus padding *)
+
+val size : t -> int
+(** Element size in bytes. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val code : t -> int
+(** Stable on-disk tag. *)
+
+val of_code : int -> t option
+
+val encode : t -> float -> bytes -> int -> unit
+(** [encode dt v buf off] writes [v] at byte offset [off] of [buf]
+    (little-endian). *)
+
+val decode : t -> bytes -> int -> float
+(** Inverse of {!encode} (lossy for integer types, by design: the array
+    model carries numeric values as floats). *)
+
+val all : t list

@@ -1,0 +1,55 @@
+type t = { dims : int array; strides : int array; nelems : int }
+
+let create dims =
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Shape.create: non-positive dim") dims;
+  let rank = Array.length dims in
+  if rank = 0 then invalid_arg "Shape.create: rank 0";
+  let strides = Array.make rank 1 in
+  for k = rank - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * dims.(k + 1)
+  done;
+  { dims = Array.copy dims; strides; nelems = Array.fold_left ( * ) 1 dims }
+
+let dims t = Array.copy t.dims
+let rank t = Array.length t.dims
+let nelems t = t.nelems
+
+let in_bounds t idx =
+  Array.length idx = rank t
+  &&
+  let ok = ref true in
+  Array.iteri (fun k v -> if v < 0 || v >= t.dims.(k) then ok := false) idx;
+  !ok
+
+let linearize t idx =
+  let off = ref 0 in
+  for k = 0 to rank t - 1 do
+    off := !off + (idx.(k) * t.strides.(k))
+  done;
+  !off
+
+let delinearize t lin =
+  let idx = Array.make (rank t) 0 in
+  let rem = ref lin in
+  for k = 0 to rank t - 1 do
+    idx.(k) <- !rem / t.strides.(k);
+    rem := !rem mod t.strides.(k)
+  done;
+  idx
+
+let iter t f =
+  let r = rank t in
+  let cur = Array.make r 0 in
+  let rec walk k = if k = r then f cur
+    else
+      for v = 0 to t.dims.(k) - 1 do
+        cur.(k) <- v;
+        walk (k + 1)
+      done
+  in
+  walk 0
+
+let equal a b = a.dims = b.dims
+
+let to_string t =
+  String.concat "x" (Array.to_list (Array.map string_of_int t.dims))

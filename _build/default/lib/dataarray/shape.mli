@@ -1,0 +1,31 @@
+(** Shapes: the d-dimensional logical index space [I] of a data array.
+
+    An index is an [int array] of length [rank], with component [k] in
+    [\[0, dims.(k))].  Row-major ("C order") linearization is the canonical
+    index <-> integer bijection used by bitsets and event encoding. *)
+
+type t
+
+val create : int array -> t
+(** [create dims]; every dimension must be positive, rank 1–3 supported by
+    the geometry layer but any positive rank is accepted here. *)
+
+val dims : t -> int array
+val rank : t -> int
+
+val nelems : t -> int
+(** Product of the dimensions. *)
+
+val in_bounds : t -> int array -> bool
+
+val linearize : t -> int array -> int
+(** Row-major rank of an in-bounds index. *)
+
+val delinearize : t -> int -> int array
+(** Inverse of {!linearize}. *)
+
+val iter : t -> (int array -> unit) -> unit
+(** Visit all indices in row-major order; the callback buffer is reused. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/geometry/bbox.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/geometry/hull.ml: Array Bbox Float Format Hashtbl Hull2d Hull3d List Vec

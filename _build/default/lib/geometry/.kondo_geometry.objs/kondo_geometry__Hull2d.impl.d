@@ -1,0 +1,1 @@
+lib/geometry/hull2d.ml: Array Float List Vec

@@ -1,0 +1,1 @@
+lib/geometry/hull3d.ml: Array Float List Map Vec

@@ -1,0 +1,1 @@
+lib/geometry/hull3d.mli:

@@ -1,0 +1,1 @@
+lib/geometry/vec.ml: Array Float List Printf String

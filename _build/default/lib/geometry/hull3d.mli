@@ -1,0 +1,34 @@
+(** Convex hulls in three dimensions.
+
+    Incremental construction: start from a tetrahedron of four affinely
+    independent points, then for every remaining point that lies outside
+    the current hull, delete the faces it can see and re-triangulate the
+    horizon.  Complexity is O(n * f) which is ample for the carver's
+    per-cell point sets (tens to a few hundred points).
+
+    Degenerate inputs (all points coplanar, collinear, or coincident)
+    raise {!Degenerate}; {!Hull.of_points} handles those by dropping to a
+    lower-dimensional representation. *)
+
+type t
+
+exception Degenerate
+
+val of_points : float array list -> t
+(** Convex hull of the input (each point must have length 3).
+    @raise Degenerate when no non-degenerate tetrahedron exists. *)
+
+val vertices : t -> float array list
+(** Extreme points of the hull (unordered). *)
+
+val faces : t -> (float array * float array * float array) list
+(** Triangular faces with vertices ordered so the right-hand normal points
+    outward. *)
+
+val contains : ?eps:float -> t -> float array -> bool
+(** [contains t p] holds when [p] is inside or on the hull. *)
+
+val volume : t -> float
+
+val centroid : t -> float array
+(** Centroid of the hull {e vertices} (the paper's hull "center"). *)

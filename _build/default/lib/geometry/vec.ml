@@ -1,0 +1,64 @@
+type t = float array
+
+let add a b = Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+let sub a b = Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+let scale k a = Array.map (fun x -> k *. x) a
+
+let dot a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm a = sqrt (dot a a)
+
+let dist_sq a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+let dist a b = sqrt (dist_sq a b)
+
+let lerp a b t = Array.init (Array.length a) (fun i -> a.(i) +. (t *. (b.(i) -. a.(i))))
+
+let centroid = function
+  | [] -> invalid_arg "Vec.centroid: empty"
+  | p :: _ as points ->
+    let d = Array.length p in
+    let acc = Array.make d 0.0 in
+    let n = ref 0 in
+    List.iter
+      (fun q ->
+        incr n;
+        for i = 0 to d - 1 do
+          acc.(i) <- acc.(i) +. q.(i)
+        done)
+      points;
+    let inv = 1.0 /. float_of_int !n in
+    Array.map (fun x -> x *. inv) acc
+
+let cross2 o a b =
+  ((a.(0) -. o.(0)) *. (b.(1) -. o.(1))) -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+let cross3 a b =
+  [| (a.(1) *. b.(2)) -. (a.(2) *. b.(1));
+     (a.(2) *. b.(0)) -. (a.(0) *. b.(2));
+     (a.(0) *. b.(1)) -. (a.(1) *. b.(0)) |]
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if Float.abs (a.(i) -. b.(i)) > eps then ok := false
+  done;
+  !ok
+
+let of_int_point p = Array.map float_of_int p
+
+let to_string v =
+  "(" ^ String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%g") v)) ^ ")"

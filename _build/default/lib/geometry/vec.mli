@@ -1,0 +1,35 @@
+(** Small dense float vectors.
+
+    Points in the index space of a data array are represented as
+    [float array] of length [d] (the array dimensionality, 1–3 in
+    practice).  All functions assume operands have equal length. *)
+
+type t = float array
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm : t -> float
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist_sq : t -> t -> float
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is [a + t*(b-a)]. *)
+
+val centroid : t list -> t
+(** Arithmetic mean of a non-empty list of points. *)
+
+val cross2 : t -> t -> t -> float
+(** [cross2 o a b] is the z-component of [(a-o) × (b-o)]: positive when
+    [o→a→b] turns counter-clockwise. *)
+
+val cross3 : t -> t -> t
+(** 3-vector cross product. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val of_int_point : int array -> t
+val to_string : t -> string

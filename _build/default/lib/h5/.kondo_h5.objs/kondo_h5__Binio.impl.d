@@ -1,0 +1,1 @@
+lib/h5/binio.ml: Array Buffer Bytes Char Int32 Int64 Lazy String

@@ -1,0 +1,1 @@
+lib/h5/binio.mli: Buffer

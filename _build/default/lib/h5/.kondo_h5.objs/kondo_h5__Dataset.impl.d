@@ -1,0 +1,1 @@
+lib/h5/dataset.ml: Dtype Kondo_dataarray Kondo_interval Layout List Printf Shape

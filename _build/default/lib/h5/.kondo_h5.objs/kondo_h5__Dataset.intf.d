@@ -1,0 +1,1 @@
+lib/h5/dataset.mli: Dtype Kondo_dataarray Kondo_interval Layout Shape

@@ -1,0 +1,1 @@
+lib/h5/file.ml: Array Binio Bytes Dataset Dtype Hashtbl Hyperslab Interval Interval_set Io_port Kondo_audit Kondo_dataarray Kondo_interval Layout List Shape Tracer

@@ -1,0 +1,1 @@
+lib/h5/file.mli: Dataset Hyperslab Io_port Kondo_audit Kondo_dataarray Kondo_interval Tracer

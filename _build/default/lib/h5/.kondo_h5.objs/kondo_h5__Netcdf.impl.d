@@ -1,0 +1,1 @@
+lib/h5/netcdf.ml: Array Binio Buffer Bytes Dataset Dtype Fun Hyperslab Int32 Int64 Io_port Kondo_audit Kondo_dataarray List Shape String Tracer Writer

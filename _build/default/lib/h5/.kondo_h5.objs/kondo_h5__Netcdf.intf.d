@@ -1,0 +1,1 @@
+lib/h5/netcdf.mli: Hyperslab Io_port Kondo_audit Kondo_dataarray Shape Tracer

@@ -1,0 +1,1 @@
+lib/h5/writer.ml: Array Binio Buffer Bytes Dataset Dtype File Fun Int32 Interval Interval_set Kondo_dataarray Kondo_interval Layout List Shape

@@ -1,0 +1,1 @@
+lib/h5/writer.mli: Dataset File Kondo_interval

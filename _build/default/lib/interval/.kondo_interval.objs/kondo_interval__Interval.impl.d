@@ -1,0 +1,1 @@
+lib/interval/interval.ml: Int Printf

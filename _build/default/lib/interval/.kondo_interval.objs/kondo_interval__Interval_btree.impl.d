@@ -1,0 +1,1 @@
+lib/interval/interval_btree.ml: Array Interval Interval_set List

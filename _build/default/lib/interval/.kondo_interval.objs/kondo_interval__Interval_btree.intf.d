@@ -1,0 +1,1 @@
+lib/interval/interval_btree.mli: Interval Interval_set

@@ -1,0 +1,1 @@
+lib/interval/interval_set.ml: Interval List String

@@ -1,0 +1,25 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let of_event ~offset ~size =
+  if size < 0 then invalid_arg "Interval.of_event: negative size";
+  { lo = offset; hi = offset + size }
+
+let length t = t.hi - t.lo
+let is_empty t = t.hi <= t.lo
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+let touches a b = a.lo <= b.hi && b.lo <= a.hi
+let contains_point t x = t.lo <= x && x < t.hi
+let contains a b = a.lo <= b.lo && b.hi <= a.hi
+let union a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let compare a b = match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let to_string t = Printf.sprintf "[%d,%d)" t.lo t.hi

@@ -1,0 +1,34 @@
+(** Half-open byte-offset intervals [\[lo, hi)].
+
+    An I/O event [⟨id, c, l, sz⟩] affects the interval [\[l, l+sz)]
+    (paper §IV-C); the worked example there — events (0,110), (70,30),
+    (130,20), (90,30) merging to (0,120) and (130,150) — fixes the
+    half-open convention. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi]; requires [lo <= hi]. *)
+
+val of_event : offset:int -> size:int -> t
+(** [\[offset, offset+size)]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val overlaps : t -> t -> bool
+(** Strict overlap: a shared point with positive measure. *)
+
+val touches : t -> t -> bool
+(** Overlapping or exactly adjacent — coalescible. *)
+
+val contains_point : t -> int -> bool
+val contains : t -> t -> bool
+val union : t -> t -> t
+(** Hull of the two; meaningful when [touches]. *)
+
+val inter : t -> t -> t option
+val compare : t -> t -> int
+(** By [lo], then [hi]. *)
+
+val to_string : t -> string

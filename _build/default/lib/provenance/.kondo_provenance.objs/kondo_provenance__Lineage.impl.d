@@ -1,0 +1,1 @@
+lib/provenance/lineage.ml: Buffer Event Int Interval_set Kondo_audit Kondo_interval List Map Option Printf String Tracer

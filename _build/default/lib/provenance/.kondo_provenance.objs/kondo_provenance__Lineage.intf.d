@@ -1,0 +1,1 @@
+lib/provenance/lineage.mli: Interval_set Kondo_audit Kondo_interval Tracer

@@ -1,0 +1,156 @@
+open Kondo_interval
+open Kondo_audit
+
+type process = { pid : int; name : string }
+
+type edge =
+  | Used of { pid : int; path : string; ranges : Interval_set.t }
+  | Generated of { pid : int; path : string; ranges : Interval_set.t }
+  | Triggered of { parent : int; child : int }
+
+module IntMap = Map.Make (Int)
+module StrMap = Map.Make (String)
+
+type access = { read : Interval_set.t; written : Interval_set.t }
+
+module Key = struct
+  type t = int * string
+
+  let compare = compare
+end
+
+module AccessMap = Map.Make (Key)
+
+type t = {
+  procs : process IntMap.t;
+  arts : unit StrMap.t;
+  access : access AccessMap.t;
+  children : int list IntMap.t;
+}
+
+let empty =
+  { procs = IntMap.empty; arts = StrMap.empty; access = AccessMap.empty; children = IntMap.empty }
+
+let add_process t p =
+  if IntMap.mem p.pid t.procs then t else { t with procs = IntMap.add p.pid p t.procs }
+
+let add_artifact t path = { t with arts = StrMap.add path () t.arts }
+
+let no_access = { read = Interval_set.empty; written = Interval_set.empty }
+
+let merge_access t pid path f =
+  let t = add_artifact t path in
+  let t =
+    if IntMap.mem pid t.procs then t
+    else add_process t { pid; name = Printf.sprintf "pid-%d" pid }
+  in
+  let cur = Option.value (AccessMap.find_opt (pid, path) t.access) ~default:no_access in
+  { t with access = AccessMap.add (pid, path) (f cur) t.access }
+
+let add_edge t = function
+  | Used { pid; path; ranges } ->
+    merge_access t pid path (fun a -> { a with read = Interval_set.union a.read ranges })
+  | Generated { pid; path; ranges } ->
+    merge_access t pid path (fun a -> { a with written = Interval_set.union a.written ranges })
+  | Triggered { parent; child } ->
+    let cur = Option.value (IntMap.find_opt parent t.children) ~default:[] in
+    { t with children = IntMap.add parent (child :: cur) t.children }
+
+let of_tracer ?(names = fun pid -> Printf.sprintf "pid-%d" pid) tracer =
+  List.fold_left
+    (fun t e ->
+      let t = add_process t { pid = e.Event.pid; name = names e.Event.pid } in
+      let t = add_artifact t e.Event.path in
+      match e.Event.op with
+      | Event.Read | Event.Mmap ->
+        add_edge t
+          (Used
+             { pid = e.Event.pid;
+               path = e.Event.path;
+               ranges = Interval_set.of_list [ Event.interval e ] })
+      | Event.Write ->
+        add_edge t
+          (Generated
+             { pid = e.Event.pid;
+               path = e.Event.path;
+               ranges = Interval_set.of_list [ Event.interval e ] })
+      | Event.Open | Event.Close -> t)
+    empty (Tracer.events tracer)
+
+let processes t = List.map snd (IntMap.bindings t.procs)
+let artifacts t = List.map fst (StrMap.bindings t.arts)
+
+let files_used_by t ~pid =
+  AccessMap.fold
+    (fun (p, path) a acc ->
+      if p = pid && not (Interval_set.is_empty a.read) then path :: acc else acc)
+    t.access []
+  |> List.sort compare
+
+let ranges_used t ~pid ~path =
+  match AccessMap.find_opt (pid, path) t.access with
+  | Some a -> a.read
+  | None -> Interval_set.empty
+
+let ranges_used_any t ~path =
+  AccessMap.fold
+    (fun (_, p) a acc -> if String.equal p path then Interval_set.union acc a.read else acc)
+    t.access Interval_set.empty
+
+let unused_artifacts t =
+  StrMap.fold
+    (fun path () acc ->
+      let touched =
+        AccessMap.exists
+          (fun (_, p) a ->
+            String.equal p path
+            && (not (Interval_set.is_empty a.read) || not (Interval_set.is_empty a.written)))
+          t.access
+      in
+      if touched then acc else path :: acc)
+    t.arts []
+  |> List.sort compare
+
+let descendants t ~pid =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | p :: rest ->
+      let kids = Option.value (IntMap.find_opt p t.children) ~default:[] in
+      let fresh = List.filter (fun k -> not (List.mem k seen)) kids in
+      go (seen @ fresh) (rest @ fresh)
+  in
+  go [] [ pid ]
+
+let to_dot t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "digraph lineage {\n  rankdir=LR;\n";
+  IntMap.iter
+    (fun pid p ->
+      Buffer.add_string b
+        (Printf.sprintf "  p%d [shape=box,label=\"%s (pid %d)\"];\n" pid p.name pid))
+    t.procs;
+  StrMap.iter
+    (fun path () ->
+      Buffer.add_string b (Printf.sprintf "  \"%s\" [shape=ellipse];\n" path))
+    t.arts;
+  AccessMap.iter
+    (fun (pid, path) a ->
+      if not (Interval_set.is_empty a.read) then
+        Buffer.add_string b
+          (Printf.sprintf "  p%d -> \"%s\" [label=\"used %s\"];\n" pid path
+             (Interval_set.to_string a.read));
+      if not (Interval_set.is_empty a.written) then
+        Buffer.add_string b
+          (Printf.sprintf "  \"%s\" -> p%d [label=\"generated %s\"];\n" path pid
+             (Interval_set.to_string a.written)))
+    t.access;
+  IntMap.iter
+    (fun parent kids ->
+      List.iter
+        (fun child ->
+          Buffer.add_string b (Printf.sprintf "  p%d -> p%d [style=dashed];\n" parent child))
+        kids)
+    t.children;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

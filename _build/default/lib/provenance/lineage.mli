@@ -1,0 +1,60 @@
+open Kondo_interval
+open Kondo_audit
+
+(** Provenance graphs over audited executions.
+
+    The lineage model of the paper's title: processes and file artifacts
+    as nodes, SPADE/OPM-style [used] / [wasGeneratedBy] / [wasTriggeredBy]
+    edges.  Coarse-grained lineage answers "which files did this run
+    touch" (what classic auditing systems report, §II); fine-grained
+    lineage attaches the coalesced byte ranges from the {!Tracer}'s
+    interval index, which is what enables offset-level debloating. *)
+
+type process = { pid : int; name : string }
+
+type edge =
+  | Used of { pid : int; path : string; ranges : Interval_set.t }
+  | Generated of { pid : int; path : string; ranges : Interval_set.t }
+  | Triggered of { parent : int; child : int }
+
+type t
+
+val empty : t
+
+val add_process : t -> process -> t
+(** Idempotent on pid. *)
+
+val add_artifact : t -> string -> t
+(** Declare a file artifact (e.g. a data dependency from a container
+    spec) even if nothing accessed it. *)
+
+val add_edge : t -> edge -> t
+(** [Used]/[Generated] edges merge their ranges with any existing edge
+    for the same (pid, path). *)
+
+val of_tracer : ?names:(int -> string) -> Tracer.t -> t
+(** Build the graph from an audit log: one process node per pid, one
+    artifact per path, [Used] edges carrying coalesced read ranges and
+    [Generated] edges carrying write ranges. *)
+
+val processes : t -> process list
+val artifacts : t -> string list
+
+val files_used_by : t -> pid:int -> string list
+(** Coarse-grained lineage. *)
+
+val ranges_used : t -> pid:int -> path:string -> Interval_set.t
+(** Fine-grained lineage. *)
+
+val ranges_used_any : t -> path:string -> Interval_set.t
+(** Fine-grained lineage merged over all processes. *)
+
+val unused_artifacts : t -> string list
+(** Declared artifacts no process used or generated — what file-level
+    lineage debloating would drop (e.g. [D_2] of Fig. 2). *)
+
+val descendants : t -> pid:int -> int list
+(** Transitive children via [Triggered] edges, excluding the root. *)
+
+val to_dot : t -> string
+(** Graphviz rendering for inspection. *)

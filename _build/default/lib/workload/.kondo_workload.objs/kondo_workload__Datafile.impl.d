@@ -1,0 +1,1 @@
+lib/workload/datafile.ml: Array Dataset Kondo_h5 List Program Writer

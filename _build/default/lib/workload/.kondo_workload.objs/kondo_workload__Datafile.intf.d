@@ -1,0 +1,1 @@
+lib/workload/datafile.mli: Kondo_dataarray Layout Program

@@ -1,0 +1,1 @@
+lib/workload/idioms.ml: Array Dtype Hyperslab Kondo_dataarray Program Shape

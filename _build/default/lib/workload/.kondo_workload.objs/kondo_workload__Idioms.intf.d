@@ -1,0 +1,1 @@
+lib/workload/idioms.mli: Program

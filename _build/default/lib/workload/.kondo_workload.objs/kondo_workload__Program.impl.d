@@ -1,0 +1,1 @@
+lib/workload/program.ml: Array Dtype Float Hashtbl Hyperslab Index_set Kondo_dataarray Kondo_h5 List Shape

@@ -1,0 +1,1 @@
+lib/workload/program.mli: Dtype Hyperslab Index_set Kondo_dataarray Kondo_h5 Shape

@@ -1,0 +1,1 @@
+lib/workload/render.ml: Array Buffer Index_set Kondo_dataarray List Shape

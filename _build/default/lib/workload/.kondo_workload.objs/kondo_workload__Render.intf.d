@@ -1,0 +1,1 @@
+lib/workload/render.mli: Index_set Kondo_dataarray Shape

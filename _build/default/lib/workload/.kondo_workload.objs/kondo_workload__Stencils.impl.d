@@ -1,0 +1,1 @@
+lib/workload/stencils.ml: Array Dtype Hyperslab Kondo_dataarray List Printf Program Shape

@@ -1,0 +1,1 @@
+lib/workload/stencils.mli: Dtype Kondo_dataarray Program

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Idioms List Program Realapps Stencils String

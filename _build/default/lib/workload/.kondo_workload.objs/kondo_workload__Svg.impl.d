@@ -1,0 +1,1 @@
+lib/workload/svg.ml: Array Buffer Float Fun Hull Index_set Kondo_dataarray Kondo_geometry List Printf Shape String

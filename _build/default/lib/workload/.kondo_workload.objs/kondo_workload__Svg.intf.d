@@ -1,0 +1,1 @@
+lib/workload/svg.mli: Hull Index_set Kondo_dataarray Kondo_geometry

@@ -1,0 +1,24 @@
+open Kondo_h5
+
+let fill idx =
+  (* Injective over small indices and cheap: mixed-radix value plus a
+     fractional tag so float equality is meaningful in tests. *)
+  let v = Array.fold_left (fun acc i -> (acc * 8192) + i) 0 idx in
+  float_of_int v +. 0.5
+
+let dataset_of ?layout p =
+  (* provenance attributes travel with the data file *)
+  let attrs =
+    [ ("generator", Dataset.Str "kondo/datafile");
+      ("program", Dataset.Str p.Program.name);
+      ("parameters", Dataset.Num (float_of_int (Program.arity p))) ]
+  in
+  Dataset.dense ~name:p.Program.dataset ~dtype:p.Program.dtype ~shape:p.Program.shape ?layout
+    ~attrs ()
+
+let write_for ~path ?layout p = Writer.write path [ (dataset_of ?layout p, fill) ]
+
+let bytes_for ?layout p = Writer.write_bytes [ (dataset_of ?layout p, fill) ]
+
+let write_many ~path ?layout programs =
+  Writer.write path (List.map (fun p -> (dataset_of ?layout p, fill)) programs)

@@ -1,0 +1,18 @@
+open Kondo_dataarray
+
+(** KH5 data files for the benchmark programs. *)
+
+val fill : int array -> float
+(** Deterministic element value: reproducible across writes, distinct per
+    index (so tests can verify that debloated reads return the original
+    data). *)
+
+val write_for : path:string -> ?layout:Layout.t -> Program.t -> unit
+(** Create the dense KH5 data file a program reads (dataset name from
+    [Program.dataset], values from {!fill}). *)
+
+val bytes_for : ?layout:Layout.t -> Program.t -> bytes
+(** Same file, in memory (for container image layers). *)
+
+val write_many : path:string -> ?layout:Kondo_dataarray.Layout.t -> Program.t list -> unit
+(** One KH5 file holding each program's dataset (names must differ). *)

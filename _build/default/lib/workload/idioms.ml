@@ -1,0 +1,87 @@
+open Kondo_dataarray
+
+let ip = int_of_float
+
+let plane ?(m = 64) () =
+  let zlo = m / 4 and zhi = 3 * m / 4 in
+  { Program.name = "PLANE";
+    description = "one x-y plane at a supported depth, strided read";
+    shape = Shape.create [| m; m; m |];
+    dtype = Dtype.Long_double;
+    param_space = [| (float_of_int zlo, float_of_int zhi); (1.0, 4.0) |];
+    plan =
+      (fun p ->
+        let z0 = ip p.(0) and s = ip p.(1) in
+        if z0 < zlo || z0 > zhi || s < 1 then []
+        else
+          [ Hyperslab.make ~start:[| 0; 0; z0 |] ~stride:[| s; 1; 1 |]
+              ~count:[| (m + s - 1) / s; 1; 1 |] ~block:[| 1; m; 1 |] () ]);
+    truth = Some (fun idx -> idx.(2) >= zlo && idx.(2) <= zhi);
+    dataset = "data" }
+
+let subvol ?(m = 64) () =
+  let ext = m / 8 in
+  let pos_max = m / 2 in
+  { Program.name = "SUBVOL";
+    description = "fixed-size sub-volume at a parameterized position";
+    shape = Shape.create [| m; m; m |];
+    dtype = Dtype.Long_double;
+    param_space = Array.make 3 (0.0, float_of_int pos_max);
+    plan =
+      (fun p ->
+        let x0 = ip p.(0) and y0 = ip p.(1) and z0 = ip p.(2) in
+        if x0 < 0 || y0 < 0 || z0 < 0 then []
+        else [ Hyperslab.block_at [| x0; y0; z0 |] [| ext; ext; ext |] ]);
+    truth = Some (fun idx -> Array.for_all (fun x -> x < pos_max + ext) idx);
+    dataset = "data" }
+
+let varsubset ?(vars = 8) ?(m = 64) () =
+  let supported = vars / 2 in
+  { Program.name = "VARS";
+    description = "one variable plane per run; only half the variables are supported";
+    shape = Shape.create [| vars; m; m |];
+    dtype = Dtype.Long_double;
+    param_space = [| (0.0, float_of_int (supported - 1)); (0.0, float_of_int (m - 1)) |];
+    plan =
+      (fun p ->
+        let v = ip p.(0) and x0 = ip p.(1) in
+        if v < 0 || v >= supported || x0 < 0 then []
+        else
+          (* the per-point record of variable v: a full plane, plus a
+             focus row at x0 *)
+          [ Hyperslab.block_at [| v; 0; 0 |] [| 1; m; m |];
+            Hyperslab.block_at [| v; x0; 0 |] [| 1; 1; m |] ]);
+    truth = Some (fun idx -> idx.(0) < supported);
+    dataset = "data" }
+
+let threshold ?(m = 64) () =
+  let c = m / 2 in
+  let tlo = m / 8 and thi = 3 * m / 8 in
+  (* attribute value at idx: m/2 - Chebyshev distance to the center; the
+     precomputed sorted index turns "value >= t" into the centred cube of
+     half-extent m/2 - t *)
+  let half_extent t = (m / 2) - t in
+  let max_half = half_extent tlo in
+  { Program.name = "THRESH";
+    description = "attribute > threshold via a sorted index (VPIC idiom)";
+    shape = Shape.create [| m; m; m |];
+    dtype = Dtype.Long_double;
+    param_space = [| (float_of_int tlo, float_of_int thi); (0.0, 1.0) |];
+    plan =
+      (fun p ->
+        let t = ip p.(0) in
+        if t < tlo || t > thi then []
+        else begin
+          let he = half_extent t in
+          let lo = Array.make 3 (c - he) in
+          [ Hyperslab.block_at lo (Array.make 3 ((2 * he) + 1)) ]
+        end);
+    truth =
+      Some
+        (fun idx ->
+          let d = Array.fold_left (fun acc x -> max acc (abs (x - c))) 0 idx in
+          d <= max_half);
+    dataset = "data" }
+
+let all ?m () =
+  [ plane ?m (); subvol ?m (); varsubset ?m (); threshold ?m () ]

@@ -1,0 +1,35 @@
+(** Additional data-subsetting idioms from the literature the paper's
+    introduction builds on (§I-A).
+
+    Lofstead et al. identify, in Chimera and S3D, "reading only one
+    plane in a 3-D space" and "reading a fixed rectangular subset of a
+    bigger space"; Tang et al. add "reading a subset of variables at
+    each point in the space" and VPIC's "subsets the 3D space where an
+    attribute value is greater than a given threshold", noting the
+    latter yields debloating savings when an index or sorted map exists
+    on the attribute.  These four programs model those idioms so
+    Kondo's applicability claims can be tested beyond the h5bench
+    kernels. *)
+
+val plane : ?m:int -> unit -> Program.t
+(** PLANE: one full x–y plane at a parameterized depth within a
+    supported window, read with a parameterized stride.  (Chimera-style
+    plane reads.) *)
+
+val subvol : ?m:int -> unit -> Program.t
+(** SUBVOL: a fixed-size rectangular sub-volume at a parameterized
+    position.  (S3D-style fixed subset of a bigger space.) *)
+
+val varsubset : ?vars:int -> ?m:int -> unit -> Program.t
+(** VARS: of [vars] stacked variables (leading dimension), only the
+    supported half is ever read, one variable plane per run.  (Tang's
+    subset-of-variables idiom.) *)
+
+val threshold : ?m:int -> unit -> Program.t
+(** THRESH: the region where a radially-decreasing attribute exceeds a
+    parameterized threshold — served through a precomputed sorted index,
+    so each run reads a centred cube that shrinks as the threshold
+    rises.  (VPIC's attribute-threshold idiom.) *)
+
+val all : ?m:int -> unit -> Program.t list
+(** The four idiom programs. *)

@@ -1,0 +1,55 @@
+open Kondo_dataarray
+
+let ip = int_of_float
+
+let ard ?(scale = 8) () =
+  let sx = 1536 / scale and sy = 2304 / scale and st = 4096 / scale in
+  let wlo = 50 / scale and whi = 200 / scale in
+  let hlo = 100 / scale and hhi = 500 / scale in
+  { Program.name = "ARD";
+    description = "atmospheric river detection: parameterized w x h block, full temporal axis";
+    shape = Shape.create [| sx; sy; st |];
+    dtype = Dtype.Long_double;
+    param_space =
+      [| (float_of_int wlo, float_of_int whi);
+         (float_of_int hlo, float_of_int hhi);
+         (0.0, float_of_int (st - 1)) |];
+    plan =
+      (fun p ->
+        let w = ip p.(0) and h = ip p.(1) and t0 = ip p.(2) in
+        if w < wlo || h < hlo || t0 < 0 then []
+        else
+          (* The t0 reference frame lies inside the block: reading it adds
+             no new indices, so Θ's temporal dimension is pure redundancy
+             for coverage purposes. *)
+          [ Hyperslab.block_at [| 0; 0; 0 |] [| w; h; st |] ]);
+    truth = Some (fun idx -> idx.(0) < whi && idx.(1) < hhi);
+    dataset = "data" }
+
+let msi ?(scale = 128) () =
+  (* x/y shrink by scale/64, z by scale (defaults: 197 x 259 x 1040). *)
+  let xy_scale = max 1 (scale / 64) in
+  let sx = 394 / xy_scale and sy = 518 / xy_scale in
+  let sz = 133120 / scale in
+  let zlo = 10000 / scale and zhi = 15000 / scale in
+  let win = zhi - zlo in
+  { Program.name = "MSI";
+    description = "mass spectrometry imaging: full x-y plane at depth z0, spectrum line at (x0,y0)";
+    shape = Shape.create [| sx; sy; sz |];
+    dtype = Dtype.Long_double;
+    (* The depth parameter comes first: a brute-force enumeration then
+       exhausts all (x0, y0) pixels before advancing the slice depth,
+       which is what keeps BF's recall partial on MSI (Table III). *)
+    param_space =
+      [| (float_of_int zlo, float_of_int zhi);
+         (0.0, float_of_int (sx - 1));
+         (0.0, float_of_int (sy - 1)) |];
+    plan =
+      (fun p ->
+        let z0 = ip p.(0) and x0 = ip p.(1) and y0 = ip p.(2) in
+        if x0 < 0 || y0 < 0 || z0 < zlo || z0 > zhi then []
+        else
+          [ Hyperslab.block_at [| 0; 0; z0 |] [| sx; sy; 1 |];
+            Hyperslab.block_at [| x0; y0; zlo |] [| 1; 1; win + 1 |] ]);
+    truth = Some (fun idx -> idx.(2) >= zlo && idx.(2) <= zhi);
+    dataset = "data" }

@@ -1,0 +1,25 @@
+(** Programs derived from the real applications of Tang et al. (paper
+    §V-D7, Table III).
+
+    The paper's data files are 217 GB (ARD) and 405 GB (MSI); this
+    reproduction scales the dimensions down while preserving the
+    geometry — in particular the accessed fraction of the file, which is
+    what recall, precision and % debloat depend on (DESIGN.md §5).
+
+    - {b ARD} (Atmospheric River Detection) reads a block whose width and
+      height are parameterized while the {e entire} temporal dimension is
+      read; the third parameter selects a reference frame inside the
+      block and does not change the accessed set — the redundancy that
+      makes brute force flounder on ARD's huge Θ.
+    - {b MSI} (Mass Spectrometry Imaging) reads a full x–y image plane at
+      a parameterized depth inside a narrow z window, plus the full
+      spectrum line through a parameterized pixel across that window. *)
+
+val ard : ?scale:int -> unit -> Program.t
+(** [scale] divides the paper's 1536 x 2304 x 4096 dimensions (default 8:
+    192 x 288 x 512).  Accessed fraction ≈ 2.8% (97.2% debloat). *)
+
+val msi : ?scale:int -> unit -> Program.t
+(** [scale] divides the paper's z dimension of 133092 (default 128) and
+    halves x/y: 197 x 259 x 1040 by default.  Accessed fraction ≈ 3.8%
+    (≈96.2% debloat). *)

@@ -1,0 +1,68 @@
+open Kondo_dataarray
+
+let plane_dims shape =
+  let dims = Shape.dims shape in
+  match Array.length dims with
+  | 1 -> (1, dims.(0))
+  | _ -> (dims.(0), dims.(1))
+
+let mid_slice_filter shape idx =
+  let dims = Shape.dims shape in
+  let rank = Array.length dims in
+  let ok = ref true in
+  for k = 2 to rank - 1 do
+    if idx.(k) <> dims.(k) / 2 then ok := false
+  done;
+  !ok
+
+let grid ?(cols = 64) ?(rows = 32) shape sets =
+  (* sets: (char, Index_set.t) list; returns the character raster. *)
+  let h, w = plane_dims shape in
+  let rows = min rows h and cols = min cols w in
+  let raster = Array.make_matrix rows cols ' ' in
+  let cell idx = (idx.(0) * rows / h, (if Array.length (Shape.dims shape) = 1 then idx.(0) else idx.(1)) * cols / w) in
+  List.iter
+    (fun (mark, set) ->
+      Index_set.iter set (fun idx ->
+          if mid_slice_filter shape idx then begin
+            let r, c = cell idx in
+            if r >= 0 && r < rows && c >= 0 && c < cols then raster.(r).(c) <- mark
+          end))
+    sets;
+  let b = Buffer.create (rows * (cols + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char b) row;
+      Buffer.add_char b '\n')
+    raster;
+  Buffer.contents b
+
+let ascii ?(cols = 64) ?(rows = 32) set =
+  let shape = Index_set.shape set in
+  let h, w = plane_dims shape in
+  let rows = min rows h and cols = min cols w in
+  let counts = Array.make_matrix rows cols 0 in
+  let totals = Array.make_matrix rows cols 0 in
+  (* Cell capacities for density normalization. *)
+  Shape.iter shape (fun idx ->
+      if mid_slice_filter shape idx then begin
+        let r = idx.(0) * rows / h
+        and c = (if Array.length (Shape.dims shape) = 1 then idx.(0) else idx.(1)) * cols / w in
+        totals.(r).(c) <- totals.(r).(c) + 1;
+        if Index_set.mem set idx then counts.(r).(c) <- counts.(r).(c) + 1
+      end);
+  let b = Buffer.create (rows * (cols + 1)) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let frac =
+        if totals.(r).(c) = 0 then 0.0
+        else float_of_int counts.(r).(c) /. float_of_int totals.(r).(c)
+      in
+      Buffer.add_char b
+        (if frac <= 0.0 then ' ' else if frac < 0.25 then '.' else if frac < 0.75 then ':' else '#')
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let overlay ?cols ?rows shape sets = grid ?cols ?rows shape sets

@@ -1,0 +1,14 @@
+open Kondo_dataarray
+
+(** ASCII rendering of index subsets (Table I stencil depictions, Fig. 1).
+
+    2D sets render directly (downsampled to the requested character
+    grid); 3D sets render their middle slice along the last axis. *)
+
+val ascii : ?cols:int -> ?rows:int -> Index_set.t -> string
+(** Density rendering: [' '] empty, ['.'] sparse, [':'] medium, ['#']
+    dense cells. *)
+
+val overlay : ?cols:int -> ?rows:int -> Shape.t -> (char * Index_set.t) list -> string
+(** Multiple sets drawn with distinct marks; later entries win on
+    contested cells. *)

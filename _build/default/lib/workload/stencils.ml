@@ -1,0 +1,189 @@
+open Kondo_dataarray
+
+let default_dtype = Dtype.Long_double
+let frame_thickness = 2
+
+let ip = int_of_float
+
+(* ------------------------------------------------------------------ *)
+(* CS: the Listing-1 cross-stencil walk                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cs_walk n sx sy =
+  (* 2x2 blocks along the ray k*(sx,sy) while the block stays in bounds;
+     a zero step accesses the first block and terminates. *)
+  let slabs = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !i + 1 <= n - 1 && !j + 1 <= n - 1 do
+    slabs := Hyperslab.block_at [| !i; !j |] [| 2; 2 |] :: !slabs;
+    if sx = 0 && sy = 0 then continue_ := false
+    else begin
+      i := !i + sx;
+      j := !j + sy
+    end
+  done;
+  List.rev !slabs
+
+type cs_variant = { id : int; guard : n:int -> int -> int -> bool; blurb : string }
+
+let cs_variants =
+  [ { id = 1; guard = (fun ~n:_ sx sy -> sx <= sy); blurb = "stepX <= stepY (lower triangular)" };
+    { id = 2; guard = (fun ~n:_ sx sy -> sx >= sy); blurb = "stepX >= stepY (upper triangular)" };
+    { id = 3;
+      guard = (fun ~n sx sy -> abs (sx - sy) <= n / 16);
+      blurb = "|stepX - stepY| <= N/16 (diagonal band)" };
+    { id = 4;
+      guard = (fun ~n sx sy -> sx <= sy && sy >= n / 2);
+      blurb = "stepX <= stepY and stepY >= N/2 (origin block + far strip)" };
+    { id = 5;
+      guard =
+        (fun ~n sx sy ->
+          (sx <= n / 8 && sy <= n / 8 && sx <= sy) || (sx >= 7 * n / 8 && sy >= 7 * n / 8));
+      blurb = "two distant step windows (sparse far corner)" } ]
+
+let cs ?(n = 128) variant =
+  let v =
+    match List.find_opt (fun c -> c.id = variant) cs_variants with
+    | Some v -> v
+    | None -> invalid_arg "Stencils.cs: variant must be in 1..5"
+  in
+  let fmax = float_of_int (n - 1) in
+  { Program.name = Printf.sprintf "CS%d" variant;
+    description = "cross-stencil walk; " ^ v.blurb;
+    shape = Shape.create [| n; n |];
+    dtype = default_dtype;
+    param_space = [| (0.0, fmax); (0.0, fmax) |];
+    plan =
+      (fun p ->
+        let sx = ip p.(0) and sy = ip p.(1) in
+        if sx < 0 || sy < 0 || not (v.guard ~n sx sy) then [] else cs_walk n sx sy);
+    truth = None (* trajectory union: computed exhaustively *);
+    dataset = "data" }
+
+(* ------------------------------------------------------------------ *)
+(* PRL: rectangular frame (ring) with a persistent central hole         *)
+(* ------------------------------------------------------------------ *)
+
+(* Onion decomposition of a d-dimensional box shell of thickness [t]:
+   for each axis, two slabs covering the low/high faces, shrinking the
+   remaining extent so slabs never overlap. *)
+let shell_slabs center half_extents t =
+  let d = Array.length center in
+  let lo = Array.init d (fun k -> center.(k) - half_extents.(k)) in
+  let hi = Array.init d (fun k -> center.(k) + half_extents.(k)) in
+  let slabs = ref [] in
+  let cur_lo = Array.copy lo and cur_hi = Array.copy hi in
+  for axis = 0 to d - 1 do
+    let e = Array.init d (fun k -> cur_hi.(k) - cur_lo.(k) + 1) in
+    if Array.for_all (fun x -> x > 0) e then begin
+      (* low face *)
+      let face_extent = Array.copy e in
+      face_extent.(axis) <- min t e.(axis);
+      slabs := Hyperslab.block_at (Array.copy cur_lo) face_extent :: !slabs;
+      (* high face (absent when the low face already spans the axis) *)
+      if e.(axis) > t then begin
+        let face_lo = Array.copy cur_lo in
+        face_lo.(axis) <- cur_hi.(axis) - t + 1;
+        let face_extent = Array.copy e in
+        face_extent.(axis) <- t;
+        slabs := Hyperslab.block_at face_lo face_extent :: !slabs
+      end
+    end;
+    cur_lo.(axis) <- cur_lo.(axis) + t;
+    cur_hi.(axis) <- cur_hi.(axis) - t
+  done;
+  List.rev !slabs
+
+let prl ~dims ~name ~hole_divisor =
+  let d = Array.length dims in
+  let n = dims.(0) in
+  let c = n / 2 in
+  let wlo = n / hole_divisor and whi = n / 4 in
+  let t = frame_thickness in
+  { Program.name;
+    description = Printf.sprintf "%dD periphery frame, half-extent in [%d,%d]" d wlo whi;
+    shape = Shape.create dims;
+    dtype = default_dtype;
+    param_space = Array.make d (0.0, float_of_int whi);
+    plan =
+      (fun p ->
+        let he = Array.map ip p in
+        if Array.exists (fun w -> w < wlo) he then []
+        else shell_slabs (Array.make d c) he t);
+    truth =
+      Some
+        (fun idx ->
+          let inside = ref true and on_frame = ref false in
+          Array.iteri
+            (fun k x ->
+              let dx = abs (x - c) in
+              if dx > whi then inside := false;
+              if dx >= wlo - t + 1 then on_frame := true;
+              ignore k)
+            idx;
+          !inside && !on_frame);
+    dataset = "data" }
+
+(* The 3D frame keeps a proportionally larger central hole: §V-D2 notes
+   the hole "enlarges in PRL3D", dropping precision below PRL2D's. *)
+let prl2d ?(n = 128) () = prl ~dims:[| n; n |] ~name:"PRL2D" ~hole_divisor:8
+let prl3d ?(m = 64) () = prl ~dims:[| m; m; m |] ~name:"PRL3D" ~hole_divisor:5
+
+(* ------------------------------------------------------------------ *)
+(* LDC / RDC: two disjoint corner blocks                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [flip.(k)] says whether corner block 2 sits at the high end of axis k
+   for the first block (the second block mirrors every axis). *)
+let corners ~dims ~name ~flip ~min_extent =
+  let d = Array.length dims in
+  let quarter k = dims.(k) / 4 in
+  { Program.name;
+    description = Printf.sprintf "two disjoint %dD corner blocks" d;
+    shape = Shape.create dims;
+    dtype = default_dtype;
+    param_space = Array.init d (fun k -> (0.0, float_of_int (quarter k)));
+    plan =
+      (fun p ->
+        let ext = Array.map ip p in
+        if Array.exists (fun w -> w < min_extent) ext then []
+        else begin
+          let start1 =
+            Array.init d (fun k -> if flip.(k) then dims.(k) - ext.(k) else 0)
+          in
+          let start2 =
+            Array.init d (fun k -> if flip.(k) then 0 else dims.(k) - ext.(k))
+          in
+          [ Hyperslab.block_at start1 (Array.copy ext); Hyperslab.block_at start2 (Array.copy ext) ]
+        end);
+    truth =
+      Some
+        (fun idx ->
+          let in_corner mirrored =
+            let ok = ref true in
+            Array.iteri
+              (fun k x ->
+                let high = if mirrored then not flip.(k) else flip.(k) in
+                let w = quarter k in
+                if high then begin
+                  if x < dims.(k) - w then ok := false
+                end
+                else if x > w - 1 then ok := false)
+              idx;
+            !ok
+          in
+          in_corner false || in_corner true);
+    dataset = "data" }
+
+let ldc2d ?(n = 128) () =
+  corners ~dims:[| n; n |] ~name:"LDC2D" ~flip:[| false; false |] ~min_extent:4
+
+let rdc2d ?(n = 128) () =
+  corners ~dims:[| n; n |] ~name:"RDC2D" ~flip:[| true; false |] ~min_extent:4
+
+let ldc3d ?(m = 64) () =
+  corners ~dims:[| m; m; m |] ~name:"LDC3D" ~flip:[| false; false; false |] ~min_extent:2
+
+let rdc3d ?(m = 64) () =
+  corners ~dims:[| m; m; m |] ~name:"RDC3D" ~flip:[| true; false; false |] ~min_extent:2

@@ -1,0 +1,40 @@
+open Kondo_dataarray
+
+(** The h5bench-derived micro-benchmarks and synthetic variants (§V-A).
+
+    The paper names four subsetting kernels — CS, PRL, LDC, RDC — whose
+    stencils Table I depicts as a solid rectangle and a rectangle with a
+    hole, with LDC/RDC exhibiting "clear separation of the two subsets"
+    and PRL a persistent hole.  DESIGN.md §4 records the concrete shapes
+    chosen here:
+
+    - [cs v]: the Listing-1 cross-stencil walk with constraint variant
+      [v] in 1–5 (CS1 base triangular, CS2 mirrored, CS3 diagonal band,
+      CS4 origin block + far strip, CS5 two distant sparse windows);
+    - [prl2d]/[prl3d]: a rectangular frame (shell in 3D) of parameterized
+      half-extents around the array center — a region with a hole;
+    - [ldc2d]/[ldc3d]: two disjoint corner blocks on the main diagonal;
+    - [rdc2d]/[rdc3d]: two disjoint corner blocks on the anti-diagonal.
+
+    All parameters are integers; Θ per program is listed in Table II's
+    reproduction (bench driver [Exp_table2]). *)
+
+val frame_thickness : int
+(** Thickness of the PRL frame (2, the h5bench default block size). *)
+
+val cs : ?n:int -> int -> Program.t
+(** [cs variant] on an [n x n] array (default 128).
+    @raise Invalid_argument unless [1 <= variant <= 5]. *)
+
+val prl2d : ?n:int -> unit -> Program.t
+val ldc2d : ?n:int -> unit -> Program.t
+val rdc2d : ?n:int -> unit -> Program.t
+
+val prl3d : ?m:int -> unit -> Program.t
+(** On an [m x m x m] array (default 64). *)
+
+val ldc3d : ?m:int -> unit -> Program.t
+val rdc3d : ?m:int -> unit -> Program.t
+
+val default_dtype : Dtype.t
+(** Long double, 16 bytes (§V-B). *)

@@ -1,0 +1,55 @@
+let micro ?(n = 128) () =
+  [ Stencils.cs ~n 1; Stencils.prl2d ~n (); Stencils.ldc2d ~n (); Stencils.rdc2d ~n () ]
+
+let synthetic ?(n = 128) ?(m = 64) () =
+  [ Stencils.cs ~n 2;
+    Stencils.cs ~n 3;
+    Stencils.cs ~n 4;
+    Stencils.cs ~n 5;
+    Stencils.prl3d ~m ();
+    Stencils.ldc3d ~m ();
+    Stencils.rdc3d ~m () ]
+
+let all11 ?n ?m () = micro ?n () @ synthetic ?n ?m ()
+
+let real ?ard_scale ?msi_scale () =
+  [ Realapps.ard ?scale:ard_scale (); Realapps.msi ?scale:msi_scale () ]
+
+let names =
+  [ "CS1"; "CS2"; "CS3"; "CS4"; "CS5"; "PRL2D"; "LDC2D"; "RDC2D"; "PRL3D"; "LDC3D"; "RDC3D";
+    "PLANE"; "SUBVOL"; "VARS"; "THRESH"; "ARD"; "MSI" ]
+
+let by_name ?n ?m name =
+  match String.uppercase_ascii name with
+  | "CS1" -> Some (Stencils.cs ?n 1)
+  | "CS2" -> Some (Stencils.cs ?n 2)
+  | "CS3" -> Some (Stencils.cs ?n 3)
+  | "CS4" -> Some (Stencils.cs ?n 4)
+  | "CS5" -> Some (Stencils.cs ?n 5)
+  | "PRL2D" -> Some (Stencils.prl2d ?n ())
+  | "LDC2D" -> Some (Stencils.ldc2d ?n ())
+  | "RDC2D" -> Some (Stencils.rdc2d ?n ())
+  | "PRL3D" -> Some (Stencils.prl3d ?m ())
+  | "LDC3D" -> Some (Stencils.ldc3d ?m ())
+  | "RDC3D" -> Some (Stencils.rdc3d ?m ())
+  | "PLANE" -> Some (Idioms.plane ?m ())
+  | "SUBVOL" -> Some (Idioms.subvol ?m ())
+  | "VARS" -> Some (Idioms.varsubset ?m ())
+  | "THRESH" -> Some (Idioms.threshold ?m ())
+  | "ARD" -> Some (Realapps.ard ())
+  | "MSI" -> Some (Realapps.msi ())
+  | _ -> None
+
+let micro_group p =
+  let name = p.Program.name in
+  let prefixes = [ "CS"; "PRL"; "LDC"; "RDC" ] in
+  match
+    List.find_opt
+      (fun pre ->
+        String.length name >= String.length pre && String.sub name 0 (String.length pre) = pre)
+      prefixes
+  with
+  | Some pre -> pre
+  | None -> name
+
+let extended ?m () = Idioms.all ?m ()

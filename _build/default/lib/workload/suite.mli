@@ -1,0 +1,30 @@
+(** The benchmark suite of §V: named program registry.
+
+    - The four micro-benchmarks: CS1, PRL2D, LDC2D, RDC2D (Table I/II).
+    - The seven synthetic variants: CS2–CS5, PRL3D, LDC3D, RDC3D.
+    - The two real-application programs: ARD, MSI (Table III). *)
+
+val micro : ?n:int -> unit -> Program.t list
+(** CS1, PRL2D, LDC2D, RDC2D on [n x n] arrays (default 128). *)
+
+val synthetic : ?n:int -> ?m:int -> unit -> Program.t list
+(** CS2–CS5 on [n x n]; PRL3D, LDC3D, RDC3D on [m^3] (default 64). *)
+
+val all11 : ?n:int -> ?m:int -> unit -> Program.t list
+(** micro @ synthetic — the 11 programs of §V-A. *)
+
+val real : ?ard_scale:int -> ?msi_scale:int -> unit -> Program.t list
+
+val names : string list
+(** All 17 registered names (11 micro/synthetic + 4 idioms + ARD + MSI). *)
+
+val by_name : ?n:int -> ?m:int -> string -> Program.t option
+(** Look up any registered program (case-insensitive). *)
+
+val micro_group : Program.t -> string
+(** The micro-benchmark family of a program ("CS", "PRL", "LDC",
+    "RDC", or its own name) — the grouping of Figures 7 and 10. *)
+
+val extended : ?m:int -> unit -> Program.t list
+(** The four extra subsetting-idiom programs of {!Idioms} (PLANE, SUBVOL,
+    VARS, THRESH). *)

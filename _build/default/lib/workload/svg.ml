@@ -1,0 +1,122 @@
+open Kondo_dataarray
+open Kondo_geometry
+
+type prim =
+  | Dot of { x : float; y : float; r : float; color : string }
+  | Line of { x1 : float; y1 : float; x2 : float; y2 : float; color : string }
+  | Poly of { pts : (float * float) list; stroke : string; fill : string }
+
+type shape_2d = prim list
+
+let plane_xy idx =
+  (* logical x = column (2nd axis when present), y = row *)
+  match Array.length idx with
+  | 1 -> (float_of_int idx.(0), 0.0)
+  | _ -> (float_of_int idx.(1), float_of_int idx.(0))
+
+let mid_slice shape idx =
+  let dims = Shape.dims shape in
+  let ok = ref true in
+  for k = 2 to Array.length dims - 1 do
+    if idx.(k) <> dims.(k) / 2 then ok := false
+  done;
+  !ok
+
+let points ?(color = "#333333") ?(radius = 0.35) set =
+  let shape = Index_set.shape set in
+  let out = ref [] in
+  Index_set.iter set (fun idx ->
+      if mid_slice shape idx then begin
+        let x, y = plane_xy idx in
+        out := Dot { x; y; r = radius; color } :: !out
+      end);
+  !out
+
+let marks ?(color = "#0044cc") positions =
+  List.map (fun (x, y) -> Dot { x; y; r = 0.5; color }) positions
+
+let vertex_xy v =
+  match Array.length v with
+  | 1 -> (v.(0), 0.0)
+  | _ -> (v.(1), v.(0))
+
+let hull_outline ?(stroke = "#cc2200") ?(fill = "none") h =
+  match Hull.vertices h with
+  | [] -> []
+  | [ p ] ->
+    let x, y = vertex_xy p in
+    [ Dot { x; y; r = 0.6; color = stroke } ]
+  | [ a; b ] ->
+    let x1, y1 = vertex_xy a and x2, y2 = vertex_xy b in
+    [ Line { x1; y1; x2; y2; color = stroke } ]
+  | vs ->
+    (* order 2D vertices around their centroid so the polygon is simple;
+       3D hulls draw the projected vertex ring the same way *)
+    let pts = List.map vertex_xy vs in
+    let cx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts /. float_of_int (List.length pts) in
+    let cy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts /. float_of_int (List.length pts) in
+    let sorted =
+      List.sort
+        (fun (x1, y1) (x2, y2) ->
+          compare (Float.atan2 (y1 -. cy) (x1 -. cx)) (Float.atan2 (y2 -. cy) (x2 -. cx)))
+        pts
+    in
+    [ Poly { pts = sorted; stroke; fill } ]
+
+let bounds prims =
+  let lo = ref infinity and hi = ref neg_infinity in
+  let see x y =
+    lo := Float.min !lo (Float.min x y);
+    hi := Float.max !hi (Float.max x y)
+  in
+  List.iter
+    (function
+      | Dot d -> see d.x d.y
+      | Line l ->
+        see l.x1 l.y1;
+        see l.x2 l.y2
+      | Poly p -> List.iter (fun (x, y) -> see x y) p.pts)
+    prims;
+  if !lo > !hi then (0.0, 1.0) else (!lo, !hi)
+
+let document ~width ~height layers =
+  let prims = List.concat layers in
+  let lo, hi = bounds prims in
+  let span = Float.max 1.0 (hi -. lo) in
+  let sx x = (x -. lo) /. span *. (width -. 20.0) +. 10.0 in
+  let sy y = (y -. lo) /. span *. (height -. 20.0) +. 10.0 in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%g\" height=\"%g\" viewBox=\"0 0 %g %g\">\n"
+       width height width height);
+  Buffer.add_string b
+    (Printf.sprintf "<rect width=\"%g\" height=\"%g\" fill=\"#ffffff\"/>\n" width height);
+  List.iter
+    (function
+      | Dot d ->
+        Buffer.add_string b
+          (Printf.sprintf "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>\n" (sx d.x)
+             (sy d.y)
+             (d.r /. span *. (width -. 20.0))
+             d.color)
+      | Line l ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" stroke-width=\"1\"/>\n"
+             (sx l.x1) (sy l.y1) (sx l.x2) (sy l.y2) l.color)
+      | Poly p ->
+        let pts =
+          String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.2f,%.2f" (sx x) (sy y)) p.pts)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<polygon points=\"%s\" stroke=\"%s\" fill=\"%s\" fill-opacity=\"0.2\" stroke-width=\"1.5\"/>\n"
+             pts p.stroke p.fill))
+    prims;
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b
+
+let save path ~width ~height layers =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (document ~width ~height layers))

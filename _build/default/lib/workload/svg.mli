@@ -1,0 +1,29 @@
+open Kondo_dataarray
+open Kondo_geometry
+
+(** SVG rendering of index sets, hulls, and fuzz scatters.
+
+    The paper's figures (the Fig. 1 access grid, the Fig. 4 parameter
+    scatter, the Fig. 6 hull-merge stages) are 2D drawings over index or
+    parameter space; this module emits them as standalone SVG documents
+    so experiment runs can save inspectable artifacts.  3D inputs render
+    their middle slice along the last axis, like {!Render}. *)
+
+type shape_2d
+
+val points : ?color:string -> ?radius:float -> Index_set.t -> shape_2d
+(** Every member index as a dot ([color] defaults to a dark gray). *)
+
+val marks : ?color:string -> (float * float) list -> shape_2d
+(** Arbitrary 2D positions (e.g. fuzzed parameter values). *)
+
+val hull_outline : ?stroke:string -> ?fill:string -> Hull.t -> shape_2d
+(** A hull's polygon outline (point/segment hulls degrade to dots and
+    lines); 3D hulls draw their vertex projection. *)
+
+val document : width:float -> height:float -> shape_2d list -> string
+(** Compose layers into an SVG document string; coordinates are in the
+    logical space and scaled to a fixed canvas. *)
+
+val save : string -> width:float -> height:float -> shape_2d list -> unit
+(** Write the document to a file. *)

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Bytes Event Gen Interval Interval_set Io_port Kondo_audit Kondo_interval List QCheck QCheck_alcotest Tracer

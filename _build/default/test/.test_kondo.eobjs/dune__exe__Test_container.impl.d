@@ -1,0 +1,1 @@
+test/test_container.ml: Alcotest Array Bytes Datafile Filename Image Kondo_container Kondo_h5 Kondo_interval Kondo_prng Kondo_workload List Merkle Program Runtime Spec Stencils String Sys Unix

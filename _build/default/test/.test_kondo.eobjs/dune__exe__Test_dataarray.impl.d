@@ -1,0 +1,1 @@
+test/test_dataarray.ml: Alcotest Array Bitset Bytes Dtype Gen Hashtbl Hyperslab Index_set Kondo_dataarray Kondo_prng Layout List Printf QCheck QCheck_alcotest Shape String

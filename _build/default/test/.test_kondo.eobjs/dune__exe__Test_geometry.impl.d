@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Bbox Gen Hull Hull2d Hull3d Kondo_geometry List QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Gen Interval Interval_btree Interval_set Kondo_interval List QCheck QCheck_alcotest

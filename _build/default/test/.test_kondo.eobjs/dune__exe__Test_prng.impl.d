@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Kondo_prng Printf QCheck QCheck_alcotest Rng

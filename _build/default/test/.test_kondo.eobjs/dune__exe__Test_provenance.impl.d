@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Event Interval Interval_set Kondo_audit Kondo_interval Kondo_provenance Lineage List Printf String Tracer

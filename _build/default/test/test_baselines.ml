@@ -1,0 +1,180 @@
+(* Tests for the evaluation baselines. *)
+
+open Kondo_dataarray
+open Kondo_workload
+open Kondo_baselines
+open Kondo_core
+
+let test_bf_exhaustive_is_exact () =
+  let p = Stencils.ldc2d ~n:16 () in
+  let r = Brute_force.run p in
+  Alcotest.(check bool) "exhausted" true r.Brute_force.exhausted;
+  Alcotest.(check int) "all valuations" (Program.param_count p) r.Brute_force.evaluations;
+  let truth = Program.ground_truth p in
+  Alcotest.(check bool) "BF = truth" true (Index_set.equal r.Brute_force.indices truth)
+
+let test_bf_precision_always_one () =
+  let p = Stencils.prl2d ~n:32 () in
+  let truth = Program.ground_truth p in
+  let r = Brute_force.run ~max_evals:50 p in
+  Alcotest.(check (float 1e-9)) "precision 1" 1.0
+    (Metrics.precision ~truth ~approx:r.Brute_force.indices)
+
+let test_bf_eval_budget () =
+  let p = Stencils.cs ~n:32 1 in
+  let r = Brute_force.run ~max_evals:100 p in
+  Alcotest.(check int) "stopped at budget" 100 r.Brute_force.evaluations;
+  Alcotest.(check bool) "not exhausted" false r.Brute_force.exhausted
+
+let test_bf_partial_recall_under_budget () =
+  let p = Stencils.ldc2d ~n:32 () in
+  let truth = Program.ground_truth p in
+  (* the first valuations have tiny extents (guard-invalid) or small
+     blocks: recall must be partial *)
+  let r = Brute_force.run ~max_evals:40 p in
+  let recall = Metrics.recall ~truth ~approx:r.Brute_force.indices in
+  Alcotest.(check bool) "partial" true (recall < 1.0)
+
+let test_bf_deterministic () =
+  let p = Stencils.rdc2d ~n:16 () in
+  let a = Brute_force.run ~max_evals:64 p and b = Brute_force.run ~max_evals:64 p in
+  Alcotest.(check bool) "same set" true (Index_set.equal a.Brute_force.indices b.Brute_force.indices)
+
+(* ---------------- AFL ---------------- *)
+
+let test_afl_decode_atoi () =
+  let p = Stencils.cs ~n:32 1 in
+  let buf = Bytes.make 16 ' ' in
+  Bytes.blit_string "42" 0 buf 0 2;
+  Bytes.blit_string "-7" 0 buf 8 2;
+  Alcotest.(check (array (float 1e-9))) "fields" [| 42.0; -7.0 |] (Afl.decode_params p buf);
+  let junk = Bytes.make 16 'z' in
+  Alcotest.(check (array (float 1e-9))) "junk decodes to zero" [| 0.0; 0.0 |]
+    (Afl.decode_params p junk);
+  let signed = Bytes.make 16 ' ' in
+  Bytes.blit_string "+13abc" 0 signed 0 6;
+  Alcotest.(check (float 1e-9)) "stops at non-digit" 13.0 (Afl.decode_params p signed).(0)
+
+let test_afl_respects_exec_budget () =
+  let p = Stencils.cs ~n:16 1 in
+  let r = Afl.run ~max_execs:500 p in
+  Alcotest.(check bool) "bounded" true (r.Afl.executions <= 501)
+
+let test_afl_indices_sound () =
+  let p = Stencils.cs ~n:16 1 in
+  let truth = Program.ground_truth p in
+  let r = Afl.run ~max_execs:3000 p in
+  Alcotest.(check bool) "AFL observations ⊆ truth" true (Index_set.subset r.Afl.indices truth);
+  Alcotest.(check (float 1e-9)) "precision 1" 1.0
+    (Metrics.precision ~truth ~approx:r.Afl.indices)
+
+let test_afl_makes_progress_from_seed () =
+  (* the CMD-style sample input is valid, so AFL must find at least the
+     indices of one run *)
+  let p = Stencils.cs ~n:16 1 in
+  let r = Afl.run ~max_execs:2000 p in
+  Alcotest.(check bool) "found some indices" true (Index_set.cardinal r.Afl.indices > 0);
+  Alcotest.(check bool) "queue grew beyond seeds" true (r.Afl.queue_entries > 8)
+
+let test_afl_deterministic_given_seed () =
+  let p = Stencils.cs ~n:16 1 in
+  let a = Afl.run ~seed:5 ~max_execs:1000 p in
+  let b = Afl.run ~seed:5 ~max_execs:1000 p in
+  Alcotest.(check bool) "same indices" true (Index_set.equal a.Afl.indices b.Afl.indices);
+  Alcotest.(check int) "same coverage" a.Afl.coverage_edges b.Afl.coverage_edges
+
+let test_afl_below_kondo_at_equal_evals () =
+  (* the paper's core claim at a shared budget: Kondo's recall beats
+     AFL's *)
+  let p = Stencils.prl2d ~n:32 () in
+  let truth = Program.ground_truth p in
+  let config = { Config.default with Config.max_iter = 1000; stop_iter = 1000; seed = 3 } in
+  let k = Pipeline.approximate ~config p in
+  let a = Afl.run ~max_execs:1000 p in
+  let k_recall = Metrics.recall ~truth ~approx:k.Pipeline.approx in
+  let a_recall = Metrics.recall ~truth ~approx:a.Afl.indices in
+  Alcotest.(check bool)
+    (Printf.sprintf "kondo %.3f > afl %.3f" k_recall a_recall)
+    true (k_recall > a_recall)
+
+(* ---------------- Simple Convex ---------------- *)
+
+let test_sc_approx_superset_of_observed () =
+  let p = Stencils.ldc2d ~n:32 () in
+  let config = { Config.default with Config.max_iter = 300; stop_iter = 300 } in
+  let r = Simple_convex.run ~config p in
+  Alcotest.(check bool) "observed ⊆ approx" true
+    (Index_set.subset r.Simple_convex.fuzz.Schedule.indices r.Simple_convex.approx)
+
+let test_sc_worse_precision_on_disjoint () =
+  (* LDC has two disjoint corners: Kondo keeps them separate (precision
+     1); SC's single hull bridges them (precision < 1) — Fig. 8 *)
+  let p = Stencils.ldc2d ~n:32 () in
+  let truth = Program.ground_truth p in
+  let config = { Config.default with Config.max_iter = 400; stop_iter = 400 } in
+  let kondo = Pipeline.approximate ~config p in
+  let sc = Simple_convex.run ~config p in
+  let kp = Metrics.precision ~truth ~approx:kondo.Pipeline.approx in
+  let sp = Metrics.precision ~truth ~approx:sc.Simple_convex.approx in
+  Alcotest.(check (float 1e-9)) "kondo precision 1" 1.0 kp;
+  Alcotest.(check bool) (Printf.sprintf "sc precision %.3f < 1" sp) true (sp < 0.9)
+
+(* ---------------- Hybrid (§VI future work) ---------------- *)
+
+let test_hybrid_never_below_kondo () =
+  let p = Stencils.cs ~n:64 3 in
+  let truth = Program.ground_truth p in
+  let config = { Config.default with Config.max_iter = 150; stop_iter = 150; seed = 9 } in
+  let h = Hybrid.run ~config ~afl_budget:2000 p in
+  let kondo_recall = Metrics.recall ~truth ~approx:h.Hybrid.kondo.Pipeline.approx in
+  let hybrid_recall = Metrics.recall ~truth ~approx:h.Hybrid.approx in
+  Alcotest.(check bool) "hybrid >= kondo recall" true (hybrid_recall >= kondo_recall -. 1e-9);
+  Alcotest.(check bool) "extra counted" true (h.Hybrid.afl_extra >= 0)
+
+let test_hybrid_includes_all_observations () =
+  let p = Stencils.prl2d ~n:32 () in
+  let config = { Config.default with Config.max_iter = 100; stop_iter = 100 } in
+  let h = Hybrid.run ~config ~afl_budget:500 p in
+  Alcotest.(check bool) "kondo observations covered" true
+    (Index_set.subset h.Hybrid.kondo.Pipeline.fuzz.Schedule.indices h.Hybrid.approx)
+
+let test_hybrid_no_extra_reuses_kondo () =
+  (* when AFL adds nothing, the hybrid result is exactly Kondo's *)
+  let p = Stencils.ldc2d ~n:32 () in
+  let config = { Config.default with Config.max_iter = 400; stop_iter = 400 } in
+  let h = Hybrid.run ~config ~afl_budget:1 p in
+  if h.Hybrid.afl_extra = 0 then
+    Alcotest.(check bool) "same approx" true
+      (Index_set.equal h.Hybrid.approx h.Hybrid.kondo.Pipeline.approx)
+
+let test_sc_empty_program () =
+  (* a schedule that never finds a useful input yields an empty hull *)
+  let p = Stencils.ldc2d ~n:32 () in
+  let never = { p with Program.plan = (fun _ -> []) } in
+  let config = { Config.default with Config.max_iter = 50; stop_iter = 50 } in
+  let r = Simple_convex.run ~config never in
+  Alcotest.(check int) "no vertices" 0 r.Simple_convex.hull_vertices;
+  Alcotest.(check bool) "empty approx" true (Index_set.is_empty r.Simple_convex.approx)
+
+let suite =
+  ( "baselines",
+    [ Alcotest.test_case "BF exhaustive equals truth" `Quick test_bf_exhaustive_is_exact;
+      Alcotest.test_case "BF precision always 1" `Quick test_bf_precision_always_one;
+      Alcotest.test_case "BF evaluation budget" `Quick test_bf_eval_budget;
+      Alcotest.test_case "BF partial recall under budget" `Quick test_bf_partial_recall_under_budget;
+      Alcotest.test_case "BF deterministic" `Quick test_bf_deterministic;
+      Alcotest.test_case "AFL atoi decoding" `Quick test_afl_decode_atoi;
+      Alcotest.test_case "AFL respects exec budget" `Quick test_afl_respects_exec_budget;
+      Alcotest.test_case "AFL observations sound" `Quick test_afl_indices_sound;
+      Alcotest.test_case "AFL progresses from seed input" `Quick test_afl_makes_progress_from_seed;
+      Alcotest.test_case "AFL deterministic given seed" `Quick test_afl_deterministic_given_seed;
+      Alcotest.test_case "AFL below Kondo at equal budget" `Quick test_afl_below_kondo_at_equal_evals;
+      Alcotest.test_case "hybrid never below Kondo" `Quick test_hybrid_never_below_kondo;
+      Alcotest.test_case "hybrid covers all observations" `Quick
+        test_hybrid_includes_all_observations;
+      Alcotest.test_case "hybrid reuses Kondo when AFL adds nothing" `Quick
+        test_hybrid_no_extra_reuses_kondo;
+      Alcotest.test_case "SC approx ⊇ observed" `Quick test_sc_approx_superset_of_observed;
+      Alcotest.test_case "SC loses precision on disjoint subsets" `Quick
+        test_sc_worse_precision_on_disjoint;
+      Alcotest.test_case "SC with empty observations" `Quick test_sc_empty_program ] )

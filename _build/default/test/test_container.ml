@@ -1,0 +1,255 @@
+(* Tests for the container substrate: spec parsing, Merkle chunking,
+   image build, and the user-side runtime. *)
+
+open Kondo_container
+
+let fig2_spec =
+  String.concat "\n"
+    [ "FROM ubuntu:20.04";
+      "RUN apt-get install -y gcc";
+      "RUN apt-get install -y libhdf5-dev";
+      "RUN mkdir /stencil";
+      "ADD ./mnist.h5 /stencil/mnist.h5";
+      "ADD ./fuji.h5 /stencil/fuji.h5";
+      "ADD Stencil.c /stencil/crossStencil.c";
+      "PARAM [0-30, 300.00-1200.00, 0-50]";
+      "ENTRYPOINT [\"/stencil/CS\"]";
+      "CMD [30, 550.0, 10, /stencil/mnist.h5]" ]
+
+let parse_ok text =
+  match Spec.parse text with Ok s -> s | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_parse_fig2 () =
+  let s = parse_ok fig2_spec in
+  Alcotest.(check string) "base" "ubuntu:20.04" s.Spec.base;
+  Alcotest.(check int) "env deps" 3 (List.length s.Spec.env_deps);
+  Alcotest.(check int) "data deps" 3 (List.length s.Spec.data_deps);
+  Alcotest.(check int) "3 params" 3 (Array.length s.Spec.param_space);
+  Alcotest.(check bool) "param 2 range" true (s.Spec.param_space.(1) = (300.0, 1200.0));
+  Alcotest.(check (option string)) "entrypoint" (Some "/stencil/CS") s.Spec.entrypoint;
+  Alcotest.(check int) "cmd args" 4 (List.length s.Spec.cmd)
+
+let test_parse_comments_blank () =
+  let s = parse_ok "# a comment\n\nFROM alpine\n   \nRUN true\n" in
+  Alcotest.(check string) "base" "alpine" s.Spec.base;
+  Alcotest.(check int) "one env dep" 1 (List.length s.Spec.env_deps)
+
+let test_parse_errors () =
+  (match Spec.parse "BOGUS x" with
+  | Error e -> Alcotest.(check bool) "line number" true (String.length e > 0 && e.[5] = '1')
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Spec.parse "ADD onlyone" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ADD arity should fail");
+  match Spec.parse "PARAM [5-1]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inverted range should fail"
+
+let test_param_ranges () =
+  (match Spec.parse_param_ranges "[0-30, 300.00-1200.00, 0-50]" with
+  | Ok r ->
+    Alcotest.(check int) "three ranges" 3 (Array.length r);
+    Alcotest.(check bool) "floats parsed" true (r.(1) = (300.0, 1200.0))
+  | Error e -> Alcotest.fail e);
+  match Spec.parse_param_ranges "[-5-10]" with
+  | Ok r -> Alcotest.(check bool) "negative lo" true (r.(0) = (-5.0, 10.0))
+  | Error e -> Alcotest.fail e
+
+let test_spec_roundtrip () =
+  let s = parse_ok fig2_spec in
+  let s2 = parse_ok (Spec.to_string s) in
+  Alcotest.(check bool) "roundtrip preserves structure" true
+    (s.Spec.base = s2.Spec.base
+    && s.Spec.env_deps = s2.Spec.env_deps
+    && s.Spec.data_deps = s2.Spec.data_deps
+    && s.Spec.param_space = s2.Spec.param_space
+    && s.Spec.entrypoint = s2.Spec.entrypoint)
+
+let test_data_dep_for () =
+  let s = parse_ok fig2_spec in
+  (match Spec.data_dep_for s "/stencil/mnist.h5" with
+  | Some d -> Alcotest.(check string) "source" "./mnist.h5" d.Spec.src
+  | None -> Alcotest.fail "dep not found");
+  Alcotest.(check bool) "unknown dep" true (Spec.data_dep_for s "/nope" = None)
+
+(* ---------------- Merkle ---------------- *)
+
+let random_bytes seed n =
+  let rng = Kondo_prng.Rng.create seed in
+  Bytes.init n (fun _ -> Kondo_prng.Rng.byte rng)
+
+let test_chunks_tile_input () =
+  let data = random_bytes 1 100_000 in
+  let chunks = Merkle.chunk_bytes data in
+  let total = List.fold_left (fun acc c -> acc + c.Merkle.length) 0 chunks in
+  Alcotest.(check int) "tiling" (Bytes.length data) total;
+  let _ =
+    List.fold_left
+      (fun expected c ->
+        Alcotest.(check int) "contiguous offsets" expected c.Merkle.offset;
+        expected + c.Merkle.length)
+      0 chunks
+  in
+  ()
+
+let test_chunking_deterministic () =
+  let data = random_bytes 2 50_000 in
+  Alcotest.(check bool) "same chunks" true (Merkle.chunk_bytes data = Merkle.chunk_bytes data)
+
+let test_chunk_bounds () =
+  let data = random_bytes 3 200_000 in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "length in [min,max] or final" true
+        (c.Merkle.length <= 65536 && c.Merkle.length >= 1))
+    (Merkle.chunk_bytes data)
+
+let test_root_hash_content_sensitive () =
+  let a = random_bytes 4 10_000 in
+  let b = Bytes.copy a in
+  Bytes.set b 5000 'X';
+  let ta = Merkle.build a and tb = Merkle.build b in
+  Alcotest.(check bool) "hashes differ" true (Merkle.root_hash ta <> Merkle.root_hash tb)
+
+let test_local_edit_dedup () =
+  (* flipping one byte should invalidate few chunks: the transfer between
+     versions is much smaller than the blob *)
+  let a = random_bytes 5 200_000 in
+  let b = Bytes.copy a in
+  Bytes.set b 100_000 '!';
+  let reused, transferred = Merkle.diff_summary ~old_tree:(Merkle.build a) ~new_tree:(Merkle.build b) in
+  Alcotest.(check int) "sizes add up" 200_000 (reused + transferred);
+  Alcotest.(check bool) "mostly reused" true (reused > 150_000)
+
+let test_transfer_size_full_when_empty () =
+  let a = random_bytes 6 30_000 in
+  let t = Merkle.build a in
+  Alcotest.(check int) "cold transfer = blob size" 30_000
+    (Merkle.transfer_size ~have:Merkle.HashSet.empty t);
+  Alcotest.(check int) "warm transfer = 0" 0
+    (Merkle.transfer_size ~have:(Merkle.chunk_hash_set t) t)
+
+let test_empty_blob () =
+  let t = Merkle.build (Bytes.create 0) in
+  Alcotest.(check int) "no chunks" 0 (List.length (Merkle.chunks t));
+  Alcotest.(check int) "no bytes" 0 (Merkle.total_bytes t)
+
+(* ---------------- Image & Runtime ---------------- *)
+
+open Kondo_workload
+
+let mini_spec_for p ~src ~dst =
+  { Spec.empty with
+    Spec.base = "ubuntu:20.04";
+    env_deps = [ "apt-get install -y libhdf5-dev" ];
+    data_deps = [ { Spec.src; dst } ];
+    param_space = p.Program.param_space;
+    entrypoint = Some "/app/run" }
+
+let build_image ?(n = 16) () =
+  let p = Stencils.ldc2d ~n () in
+  let src = Filename.temp_file "kondo_img_src" ".kh5" in
+  Datafile.write_for ~path:src p;
+  let spec = mini_spec_for p ~src ~dst:"/app/data.kh5" in
+  let fetch path =
+    let ic = open_in_bin path in
+    let b = Bytes.create (in_channel_length ic) in
+    really_input ic b 0 (Bytes.length b);
+    close_in ic;
+    b
+  in
+  (p, src, Image.build spec ~fetch)
+
+let test_image_build_sizes () =
+  let _, _, img = build_image () in
+  Alcotest.(check bool) "env size positive" true (Image.env_size img > 0);
+  Alcotest.(check bool) "data size positive" true (Image.data_size img > 0);
+  Alcotest.(check int) "total" (Image.env_size img + Image.data_size img) (Image.size img);
+  Alcotest.(check int) "hdf5 package footprint" (34 * 1024 * 1024)
+    (Image.env_layer_size "apt-get install -y libhdf5-dev")
+
+let test_image_replace_data () =
+  let _, _, img = build_image () in
+  let img2 = Image.replace_data img ~dst:"/app/data.kh5" (Bytes.make 10 'z') in
+  Alcotest.(check bool) "content swapped" true
+    (Image.data_content img2 ~dst:"/app/data.kh5" = Some (Bytes.make 10 'z'));
+  Alcotest.check_raises "unknown dst" Not_found (fun () ->
+      ignore (Image.replace_data img ~dst:"/nope" Bytes.empty))
+
+let test_runtime_serves_reads () =
+  let p, src, img = build_image () in
+  let dir = Filename.temp_file "kondo_rt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rt = Runtime.boot ~image:img ~dir () in
+  let v = Runtime.read_element rt ~dst:"/app/data.kh5" ~dataset:p.Program.dataset [| 1; 1 |] in
+  Alcotest.(check (float 1e-9)) "original value" (Datafile.fill [| 1; 1 |]) v;
+  Alcotest.(check int) "one read" 1 (Runtime.stats rt).Runtime.reads;
+  Runtime.shutdown rt;
+  Sys.remove src
+
+let test_runtime_remote_fallback () =
+  let p, src, img = build_image () in
+  (* debloat the image down to nothing to force misses *)
+  let empty_keep _ = Kondo_interval.Interval_set.empty in
+  let tmp_deb = Filename.temp_file "kondo_deb" ".kh5" in
+  let f = Kondo_h5.File.open_file src in
+  Kondo_h5.Writer.write_debloated tmp_deb ~source:f ~keep:empty_keep;
+  Kondo_h5.File.close f;
+  let ic = open_in_bin tmp_deb in
+  let content = Bytes.create (in_channel_length ic) in
+  really_input ic content 0 (Bytes.length content);
+  close_in ic;
+  let img = Image.replace_data img ~dst:"/app/data.kh5" content in
+  let dir = Filename.temp_file "kondo_rt2" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  (* without remote: Data_missing *)
+  let rt = Runtime.boot ~image:img ~dir () in
+  (try
+     ignore (Runtime.read_element rt ~dst:"/app/data.kh5" ~dataset:p.Program.dataset [| 0; 0 |]);
+     Alcotest.fail "expected Data_missing"
+   with Kondo_h5.File.Data_missing _ -> ());
+  Alcotest.(check int) "miss counted" 1 (Runtime.stats rt).Runtime.misses;
+  Runtime.shutdown rt;
+  (* with remote fallback: value served from the source file *)
+  let rt = Runtime.boot ~remote:true ~image:img ~dir () in
+  let v = Runtime.read_element rt ~dst:"/app/data.kh5" ~dataset:p.Program.dataset [| 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "remote value" (Datafile.fill [| 0; 0 |]) v;
+  Alcotest.(check int) "remote fetch counted" 1 (Runtime.stats rt).Runtime.remote_fetches;
+  Alcotest.(check bool) "remote bytes counted" true ((Runtime.stats rt).Runtime.remote_bytes > 0);
+  Runtime.shutdown rt;
+  Sys.remove src;
+  Sys.remove tmp_deb
+
+let test_materialize_mapping () =
+  let _, src, img = build_image () in
+  let dir = Filename.temp_file "kondo_mat" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let mapping = Image.materialize img ~dir in
+  Alcotest.(check int) "one data layer" 1 (List.length mapping);
+  let _, local = List.hd mapping in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists local);
+  Sys.remove src
+
+let suite =
+  ( "container",
+    [ Alcotest.test_case "parse Fig. 2 spec" `Quick test_parse_fig2;
+      Alcotest.test_case "comments and blanks" `Quick test_parse_comments_blank;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "param ranges" `Quick test_param_ranges;
+      Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+      Alcotest.test_case "data_dep_for" `Quick test_data_dep_for;
+      Alcotest.test_case "merkle chunks tile input" `Quick test_chunks_tile_input;
+      Alcotest.test_case "merkle chunking deterministic" `Quick test_chunking_deterministic;
+      Alcotest.test_case "merkle chunk bounds" `Quick test_chunk_bounds;
+      Alcotest.test_case "merkle root content-sensitive" `Quick test_root_hash_content_sensitive;
+      Alcotest.test_case "merkle local edit dedups" `Quick test_local_edit_dedup;
+      Alcotest.test_case "merkle transfer sizes" `Quick test_transfer_size_full_when_empty;
+      Alcotest.test_case "merkle empty blob" `Quick test_empty_blob;
+      Alcotest.test_case "image build sizes" `Quick test_image_build_sizes;
+      Alcotest.test_case "image replace data" `Quick test_image_replace_data;
+      Alcotest.test_case "runtime serves reads" `Quick test_runtime_serves_reads;
+      Alcotest.test_case "runtime remote fallback" `Quick test_runtime_remote_fallback;
+      Alcotest.test_case "image materialize" `Quick test_materialize_mapping ] )

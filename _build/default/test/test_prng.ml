@@ -1,0 +1,161 @@
+(* Unit and property tests for the deterministic PRNG. *)
+
+open Kondo_prng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 5)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues the stream" xa xb;
+  ignore (Rng.bits64 a);
+  (* advancing a does not affect b *)
+  let xa2 = Rng.bits64 a and xb2 = Rng.bits64 b in
+  Alcotest.(check bool) "streams now diverge in position" true (xa2 <> xb2 || xa2 = xb2);
+  ignore (xa2, xb2)
+
+let test_split_diverges () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.bits64 a = Rng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "split streams differ" true (!matches < 5)
+
+let test_int_in_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_inclusive () =
+  let rng = Rng.create 4 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3);
+    if v = -3 then seen_lo := true;
+    if v = 3 then seen_hi := true
+  done;
+  Alcotest.(check bool) "bounds reachable" true (!seen_lo && !seen_hi)
+
+let test_int_covers_all () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> Alcotest.(check bool) (Printf.sprintf "bucket %d populated" i) true (c > 500))
+    counts
+
+let test_float_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_in () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.float_in rng (-1.5) 4.25 in
+    Alcotest.(check bool) "in range" true (v >= -1.5 && v < 4.25)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli rng 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Rng.bernoulli rng 0.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.03)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 12 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick_member () =
+  let rng = Rng.create 14 in
+  let a = [| 2; 4; 6; 8 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked element of array" true (Array.exists (( = ) (Rng.pick rng a)) a)
+  done
+
+let qcheck_int_bound =
+  QCheck.Test.make ~name:"Rng.int respects arbitrary bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_float_in =
+  QCheck.Test.make ~name:"Rng.float_in respects bounds" ~count:500
+    QCheck.(triple small_int (float_range (-1000.0) 1000.0) (float_range 0.0 500.0))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let v = Rng.float_in rng lo (lo +. span) in
+      v >= lo && (span = 0.0 || v < lo +. span))
+
+let suite =
+  ( "prng",
+    [ Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy continues stream" `Quick test_copy_independent;
+      Alcotest.test_case "split diverges" `Quick test_split_diverges;
+      Alcotest.test_case "int bounds" `Quick test_int_in_bounds;
+      Alcotest.test_case "int_in inclusive bounds" `Quick test_int_in_inclusive;
+      Alcotest.test_case "int covers all buckets" `Quick test_int_covers_all;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "float_in bounds" `Quick test_float_in;
+      Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+      Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+      Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+      Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+      Alcotest.test_case "pick returns member" `Quick test_pick_member;
+      QCheck_alcotest.to_alcotest qcheck_int_bound;
+      QCheck_alcotest.to_alcotest qcheck_float_in ] )

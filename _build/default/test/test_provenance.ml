@@ -1,0 +1,103 @@
+(* Tests for the lineage graph. *)
+
+open Kondo_interval
+open Kondo_audit
+open Kondo_provenance
+
+let iv lo hi = Interval.make lo hi
+let set l = Interval_set.of_list (List.map (fun (a, b) -> iv a b) l)
+
+let test_coarse_lineage () =
+  let g =
+    Lineage.empty
+    |> (fun g -> Lineage.add_process g { Lineage.pid = 1; name = "CS" })
+    |> (fun g -> Lineage.add_edge g (Lineage.Used { pid = 1; path = "/d1"; ranges = set [ (0, 10) ] }))
+    |> fun g -> Lineage.add_edge g (Lineage.Used { pid = 1; path = "/d2"; ranges = set [ (5, 9) ] })
+  in
+  Alcotest.(check (list string)) "files used" [ "/d1"; "/d2" ] (Lineage.files_used_by g ~pid:1)
+
+let test_fine_lineage_merges () =
+  let g =
+    Lineage.empty
+    |> (fun g -> Lineage.add_edge g (Lineage.Used { pid = 1; path = "/d"; ranges = set [ (0, 10) ] }))
+    |> fun g -> Lineage.add_edge g (Lineage.Used { pid = 1; path = "/d"; ranges = set [ (8, 20) ] })
+  in
+  Alcotest.(check int) "ranges coalesced" 20
+    (Interval_set.total_length (Lineage.ranges_used g ~pid:1 ~path:"/d"))
+
+let test_unused_artifacts () =
+  (* the Fig. 2 scenario: D2 is declared but never accessed *)
+  let g =
+    Lineage.empty
+    |> (fun g -> Lineage.add_artifact g "/stencil/mnist.h5")
+    |> (fun g -> Lineage.add_artifact g "/stencil/fuji.h5")
+    |> fun g ->
+    Lineage.add_edge g (Lineage.Used { pid = 1; path = "/stencil/mnist.h5"; ranges = set [ (0, 4) ] })
+  in
+  Alcotest.(check (list string)) "never-touched data dep" [ "/stencil/fuji.h5" ]
+    (Lineage.unused_artifacts g)
+
+let test_of_tracer () =
+  let t = Tracer.create () in
+  ignore (Tracer.record t ~pid:1 ~path:"/d" ~op:Event.Open ~offset:0 ~size:0);
+  ignore (Tracer.record t ~pid:1 ~path:"/d" ~op:Event.Read ~offset:0 ~size:16);
+  ignore (Tracer.record t ~pid:2 ~path:"/d" ~op:Event.Write ~offset:32 ~size:8);
+  let g = Lineage.of_tracer ~names:(fun pid -> Printf.sprintf "proc%d" pid) t in
+  Alcotest.(check int) "two processes" 2 (List.length (Lineage.processes g));
+  Alcotest.(check int) "read range" 16
+    (Interval_set.total_length (Lineage.ranges_used g ~pid:1 ~path:"/d"));
+  Alcotest.(check bool) "writer did not 'use'" true
+    (Interval_set.is_empty (Lineage.ranges_used g ~pid:2 ~path:"/d"))
+
+let test_ranges_used_any () =
+  let g =
+    Lineage.empty
+    |> (fun g -> Lineage.add_edge g (Lineage.Used { pid = 1; path = "/d"; ranges = set [ (0, 8) ] }))
+    |> fun g -> Lineage.add_edge g (Lineage.Used { pid = 2; path = "/d"; ranges = set [ (8, 12) ] })
+  in
+  Alcotest.(check int) "merged across pids" 12
+    (Interval_set.total_length (Lineage.ranges_used_any g ~path:"/d"))
+
+let test_descendants () =
+  let g =
+    Lineage.empty
+    |> (fun g -> Lineage.add_edge g (Lineage.Triggered { parent = 1; child = 2 }))
+    |> (fun g -> Lineage.add_edge g (Lineage.Triggered { parent = 2; child = 3 }))
+    |> fun g -> Lineage.add_edge g (Lineage.Triggered { parent = 1; child = 4 })
+  in
+  let d = List.sort compare (Lineage.descendants g ~pid:1) in
+  Alcotest.(check (list int)) "transitive" [ 2; 3; 4 ] d;
+  Alcotest.(check (list int)) "leaf" [] (Lineage.descendants g ~pid:3)
+
+let test_to_dot () =
+  let g =
+    Lineage.empty
+    |> (fun g -> Lineage.add_process g { Lineage.pid = 1; name = "CS" })
+    |> fun g -> Lineage.add_edge g (Lineage.Used { pid = 1; path = "/d"; ranges = set [ (0, 4) ] })
+  in
+  let dot = Lineage.to_dot g in
+  let contains sub =
+    let ls = String.length sub and l = String.length dot in
+    let rec go i = i + ls <= l && (String.sub dot i ls = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph lineage");
+  Alcotest.(check bool) "process node" true (contains "CS (pid 1)");
+  Alcotest.(check bool) "used edge" true (contains "used")
+
+let test_add_process_idempotent () =
+  let g = Lineage.add_process Lineage.empty { Lineage.pid = 1; name = "a" } in
+  let g = Lineage.add_process g { Lineage.pid = 1; name = "b" } in
+  Alcotest.(check int) "one node" 1 (List.length (Lineage.processes g));
+  Alcotest.(check string) "first name kept" "a" (List.hd (Lineage.processes g)).Lineage.name
+
+let suite =
+  ( "provenance",
+    [ Alcotest.test_case "coarse lineage" `Quick test_coarse_lineage;
+      Alcotest.test_case "fine lineage merges ranges" `Quick test_fine_lineage_merges;
+      Alcotest.test_case "unused artifacts (Fig. 2 D2)" `Quick test_unused_artifacts;
+      Alcotest.test_case "graph from tracer" `Quick test_of_tracer;
+      Alcotest.test_case "ranges merged across pids" `Quick test_ranges_used_any;
+      Alcotest.test_case "descendants" `Quick test_descendants;
+      Alcotest.test_case "dot export" `Quick test_to_dot;
+      Alcotest.test_case "add_process idempotent" `Quick test_add_process_idempotent ] )
