@@ -25,6 +25,7 @@ let experiments =
     ("table3", "Table III: ARD and MSI", Exp_realapps.run);
     ("idioms", "Extension: real-application subsetting idioms", Exp_idioms.run);
     ("filelevel", "Extension: offset-level vs file-level debloating", Exp_filelevel.run);
+    ("parallel", "Parallel engine: sequential vs domain-parallel wall time", Exp_parallel.run);
     ("micro", "Bechamel micro-benchmarks", Microbench.run) ]
 
 let list_ids () =

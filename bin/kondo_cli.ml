@@ -43,7 +43,22 @@ let max_iter_arg =
     & opt int Config.default.Config.max_iter
     & info [ "max-iter" ] ~docv:"ITERS" ~doc:"Maximum fuzz iterations (paper default 2000).")
 
-let config_of seed max_iter = { Config.default with Config.seed; max_iter }
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Kondo_parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel fan-out (campaign rounds, multi-program \
+           debloating, per-cell hulls). Defaults to the hardware domain count; 1 is the \
+           sequential legacy path. Results are bit-identical for any value.")
+
+let config_of ?(jobs = 1) seed max_iter =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  Config.with_jobs { Config.default with Config.seed; max_iter } jobs
 
 (* ---- programs ---- *)
 
@@ -81,9 +96,9 @@ let mkdata_cmd =
 (* ---- debloat ---- *)
 
 let debloat_cmd =
-  let run name n m seed max_iter src dst =
+  let run name n m seed max_iter jobs src dst =
     let p = find_program name n m in
-    let config = config_of seed max_iter in
+    let config = config_of ~jobs seed max_iter in
     let report = Pipeline.debloat_file ~config p ~src ~dst in
     let size path =
       let ic = open_in_bin path in
@@ -101,7 +116,7 @@ let debloat_cmd =
   Cmd.v
     (Cmd.info "debloat" ~doc:"Fuzz, carve, and write the debloated KH5 file.")
     Term.(
-      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg
+      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
       $ path_arg 0 "Source (dense) KH5 file."
       $ path_arg 1 "Destination (debloated) KH5 file.")
 
@@ -143,9 +158,9 @@ let run_cmd =
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
 let report_cmd =
-  let run name n m seed max_iter json =
+  let run name n m seed max_iter jobs json =
     let p = find_program name n m in
-    let config = config_of seed max_iter in
+    let config = config_of ~jobs seed max_iter in
     let r = Pipeline.evaluate ~config p in
     if json then print_endline (Report.Json.to_string ~indent:2 (Report.pipeline_json p r))
     else begin
@@ -160,7 +175,9 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Evaluate Kondo against a program's exact ground truth.")
-    Term.(const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ json_arg)
+    Term.(
+      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
+      $ json_arg)
 
 (* ---- invariant ---- *)
 
@@ -228,10 +245,17 @@ let campaign_cmd =
   let rounds_arg =
     Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"K" ~doc:"Fuzzing rounds to add.")
   in
-  let run name n m seed max_iter state rounds =
+  let run name n m seed max_iter jobs state rounds =
     let p = find_program name n m in
-    let config = config_of seed max_iter in
-    let c = if Sys.file_exists state then Campaign.load p state else Campaign.fresh p in
+    let config = config_of ~jobs seed max_iter in
+    let c =
+      if Sys.file_exists state then (
+        try Campaign.load p state
+        with Invalid_argument msg ->
+          Printf.eprintf "cannot resume campaign: %s\n" msg;
+          exit 2)
+      else Campaign.fresh p
+    in
     let before = Index_set.cardinal (Campaign.observed c) in
     let c = Campaign.extend ~config p c rounds in
     Campaign.save c state;
@@ -249,7 +273,8 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:"Extend a resumable fuzzing campaign (paper SecVI: let Kondo run for more time).")
     Term.(
-      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ state_arg $ rounds_arg)
+      const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
+      $ state_arg $ rounds_arg)
 
 (* ---- replay ---- *)
 

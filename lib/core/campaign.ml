@@ -13,10 +13,12 @@ let program_name t = t.name
 let extend ~config p t k =
   if not (String.equal t.name p.Program.name) then invalid_arg "Campaign.extend: program mismatch";
   let observed = Index_set.copy t.observed in
-  for round = t.rounds + 1 to t.rounds + k do
-    let r = Schedule.run ~config:(Config.with_seed config (config.Config.seed + round)) p in
-    Index_set.union_into observed r.Schedule.indices
-  done;
+  (* Rounds are independent schedules, fanned out over [config.jobs]
+     domains; each is seeded purely from its absolute round number, so
+     the accumulated set is the same whatever the jobs count or how the
+     k rounds were split across sessions. *)
+  let found = Schedule.run_rounds ~config p ~first_round:(t.rounds + 1) ~rounds:k in
+  Index_set.union_into observed found;
   { t with rounds = t.rounds + k; observed }
 
 let carve ~config p t =
@@ -42,24 +44,36 @@ let save t path =
       output_bytes oc (Index_set.to_bytes t.observed))
 
 let load p path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        invalid_arg
+          (Printf.sprintf "Campaign.load %S (program %s): %s" path p.Program.name msg))
+      fmt
+  in
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let head = really_input_string ic (String.length magic) in
-      if head <> magic then invalid_arg "Campaign.load: bad magic";
+      if head <> magic then fail "bad magic";
       let hdr = Bytes.create 8 in
       really_input ic hdr 0 8;
       let rounds = Int32.to_int (Bytes.get_int32_le hdr 0) in
       let name_len = Int32.to_int (Bytes.get_int32_le hdr 4) in
-      if name_len < 0 || name_len > 4096 then invalid_arg "Campaign.load: bad name";
+      if name_len < 0 || name_len > 4096 then fail "bad name length %d" name_len;
       let name = really_input_string ic name_len in
       if not (String.equal name p.Program.name) then
-        invalid_arg "Campaign.load: campaign belongs to a different program";
+        fail "campaign belongs to program %s" name;
       let rest_len = in_channel_length ic - pos_in ic in
       let rest = Bytes.create rest_len in
       really_input ic rest 0 rest_len;
-      let observed = Index_set.of_bytes rest in
+      let observed =
+        try Index_set.of_bytes rest
+        with Invalid_argument msg -> fail "corrupt observed set (%s)" msg
+      in
       if not (Shape.equal (Index_set.shape observed) p.Program.shape) then
-        invalid_arg "Campaign.load: shape mismatch";
+        fail "shape mismatch (%s in file, program wants %s)"
+          (Shape.to_string (Index_set.shape observed))
+          (Shape.to_string p.Program.shape);
       { name; rounds; observed })

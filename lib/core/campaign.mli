@@ -19,8 +19,11 @@ val rounds : t -> int
 val program_name : t -> string
 
 val extend : config:Config.t -> Program.t -> t -> int -> t
-(** [extend ~config p t k] runs [k] more schedule rounds (seeds continue
-    from the campaign's round counter) and folds their discoveries in. *)
+(** [extend ~config p t k] runs [k] more schedule rounds on
+    [config.jobs] domains and folds their discoveries in.  Round [r] is
+    seeded purely from [(config.seed, r)] (see {!Schedule.run_rounds}),
+    so the accumulated set is bit-identical for any jobs count and any
+    way of splitting the rounds across sessions. *)
 
 val carve : config:Config.t -> Program.t -> t -> Index_set.t
 (** Carve the accumulated observations into the current [I'_Θ]. *)
@@ -29,4 +32,5 @@ val save : t -> string -> unit
 
 val load : Program.t -> string -> t
 (** @raise Invalid_argument when the file belongs to a different program
-    or shape, or is malformed. *)
+    or shape, or is malformed; the message names the offending file and
+    the program. *)

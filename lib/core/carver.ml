@@ -120,7 +120,11 @@ let carve_points ~config ~dims points =
     let config = cfg in
     let cell = Config.auto_cell_size cfg dims in
     let cells = split_cells ~cell ~cap:cfg.Config.max_cell_points points in
-    let hulls = List.map Hull.of_int_points cells in
+    (* Per-cell hulls are independent; the pool preserves cell order, so
+       the (order-sensitive) bottom-up merge below sees the same input
+       as a sequential run and stays bit-identical for any jobs count. *)
+    let pool = Kondo_parallel.Pool.create ~jobs:cfg.Config.jobs in
+    let hulls = Kondo_parallel.Pool.map_list pool Hull.of_int_points cells in
     let initial_cells = List.length hulls in
     let merged, merge_rounds, merges = merge_all ~config hulls in
     { hulls = merged; initial_cells; merge_rounds; merges }

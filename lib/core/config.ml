@@ -25,6 +25,7 @@ type t = {
   merge_policy : merge_policy;
   autoscale : bool;
   reference_extent : float;
+  jobs : int;
 }
 
 let default =
@@ -49,9 +50,14 @@ let default =
     bound_d_thresh = 10.0;
     merge_policy = Either;
     autoscale = true;
-    reference_extent = 128.0 }
+    reference_extent = 128.0;
+    jobs = 1 }
 
 let with_seed t seed = { t with seed }
+
+let with_jobs t jobs =
+  if jobs < 1 then invalid_arg "Config.with_jobs: jobs must be >= 1";
+  { t with jobs }
 
 let scale_for t extent =
   if not t.autoscale then 1.0

@@ -46,6 +46,11 @@ type t = {
           requires frames and thresholds to track the space (DESIGN.md
           §4). *)
   reference_extent : float;  (** the extent the Fig. 5 values were tuned for (128) *)
+  jobs : int;
+      (** worker domains for the parallel fan-out paths (campaign fuzz
+          rounds, multi-program debloating, per-cell hull construction).
+          Results are bit-identical for any value; [1] (the default) is
+          the legacy sequential path. *)
 }
 
 val default : t
@@ -56,6 +61,9 @@ val scale_for : t -> float -> float
     clamped to [\[0.25, 32\]], or [1.0] when [autoscale] is off. *)
 
 val with_seed : t -> int -> t
+
+val with_jobs : t -> int -> t
+(** @raise Invalid_argument when [jobs < 1]. *)
 
 val auto_cell_size : t -> int array -> int
 (** The cell edge used for a given array shape: [cell_size] when set,

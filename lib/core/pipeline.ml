@@ -54,7 +54,19 @@ let debloat_file ~config p ~src ~dst =
       report)
 
 let debloat_file_many ~config programs ~src ~dst =
-  let reports = List.map (fun p -> (p, approximate ~config p)) programs in
+  (* One level of parallelism only: with several programs the fan-out is
+     per program and the inner fuzz/carve runs sequentially (nested pool
+     use is an error); a single program keeps its inner jobs so the
+     carver still parallelizes.  Results are identical either way. *)
+  let pool = Kondo_parallel.Pool.create ~jobs:config.Config.jobs in
+  let inner =
+    if Kondo_parallel.Pool.jobs pool > 1 && List.length programs > 1 then
+      { config with Config.jobs = 1 }
+    else config
+  in
+  let reports =
+    Kondo_parallel.Pool.map_list pool (fun p -> (p, approximate ~config:inner p)) programs
+  in
   let source = Kondo_h5.File.open_file src in
   Fun.protect
     ~finally:(fun () -> Kondo_h5.File.close source)

@@ -168,3 +168,21 @@ let plan_evaluator p =
       end
 
 let run ~config p = run_with_eval ~config p ~eval:(plan_evaluator p)
+
+let round_seed ~base round =
+  (* Pure in (base, round): round r always fuzzes with the same seed, so
+     campaigns resume reproducibly and workers need no shared state. *)
+  Int64.to_int (Kondo_prng.Rng.bits64 (Kondo_prng.Rng.split_at base round))
+
+let run_rounds ~config p ~first_round ~rounds =
+  if rounds < 0 then invalid_arg "Schedule.run_rounds: rounds must be >= 0";
+  let pool = Kondo_parallel.Pool.create ~jobs:config.Config.jobs in
+  let acc = Index_set.create p.Program.shape in
+  Kondo_parallel.Pool.map_reduce pool ~n:rounds
+    ~map:(fun i ->
+      let seed = round_seed ~base:config.Config.seed (first_round + i) in
+      (run ~config:(Config.with_seed config seed) p).indices)
+    ~reduce:(fun acc indices ->
+      Index_set.union_into acc indices;
+      acc)
+    ~init:acc

@@ -39,3 +39,12 @@ val run_with_eval :
 (** Like {!run} but with a custom debloat test: [eval v is] runs the test
     for [v], adds discovered indices into [is], and returns (useful,
     newly-added count).  {!run} uses a plan-memoizing evaluator. *)
+
+val run_rounds : config:Config.t -> Program.t -> first_round:int -> rounds:int -> Index_set.t
+(** [run_rounds ~config p ~first_round ~rounds] runs [rounds] independent
+    full schedules — round [r] seeded by a pure function of
+    [(config.seed, r)] via {!Kondo_prng.Rng.split_at} — on
+    [config.jobs] domains, and unions their discoveries in round order.
+    The result is bit-identical for every [jobs] value; a round number
+    maps to the same seed in every session, so campaigns that resume at
+    [first_round > 1] reproduce exactly. *)

@@ -1,0 +1,44 @@
+(** A small domain-based work pool for deterministic fan-out.
+
+    Kondo's hot loops — fuzz rounds in a campaign, the per-program loop of
+    multi-dataset debloating, per-cell hull construction in the carver —
+    are embarrassingly parallel: every task is a pure function of its
+    index.  The pool evaluates such task sets on [jobs] OCaml 5 domains
+    and hands the results back {e in task order}, so a parallel run is
+    observationally identical to the sequential one regardless of how the
+    scheduler interleaved the workers.  Callers keep determinism by making
+    each task self-seeding (see {!Kondo_prng.Rng.split_at}) rather than
+    sharing a generator.
+
+    [jobs = 1] is the legacy path: tasks run in the calling domain, no
+    domain is spawned, and nested use is permitted.  With [jobs > 1],
+    calling back into any pool from inside a worker task raises
+    [Invalid_argument] — the domain budget is a global resource and
+    nesting fan-outs multiplies it; parallelize at one level and force
+    [jobs = 1] below (as {!Kondo_core.Pipeline.debloat_file_many} does). *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] makes a pool that evaluates up to [jobs] tasks
+    concurrently.  [jobs] is clamped to [\[1, 64\]]; [jobs < 1] raises
+    [Invalid_argument].  Creation is cheap — domains are spawned per
+    call, sized to the task count, and joined before returning. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the hardware parallelism
+    available to this process. *)
+
+val map_reduce : t -> n:int -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) -> init:'b -> 'b
+(** [map_reduce t ~n ~map ~reduce ~init] evaluates [map i] for
+    [i ∈ \[0, n)] on the pool's domains and folds the results as
+    [reduce (... (reduce init r₀) ...) rₙ₋₁] — always in index order, on
+    the calling domain.  If any task raised, the leftmost task's
+    exception is re-raised (with its backtrace) after all workers have
+    been joined, and no reduction is performed. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] is [List.map f xs] with the applications evaluated
+    on the pool's domains; result order matches input order. *)

@@ -20,6 +20,13 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+let split_at seed i =
+  if i < 1 then invalid_arg "Rng.split_at: i must be >= 1";
+  (* The parent's state after [i] draws is mix64(seed) + i·γ (a Weyl
+     sequence), so the i-th child is computable in O(1) without the
+     parent: exactly what a worker needs to seed itself from its index. *)
+  { state = mix64 (Int64.add (mix64 (Int64.of_int seed)) (Int64.mul (Int64.of_int i) golden_gamma)) }
+
 let int t bound =
   assert (bound > 0);
   (* Rejection sampling over the low 62 bits keeps the draw unbiased. *)

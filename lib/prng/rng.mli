@@ -21,6 +21,13 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  Streams of
     the parent and child are statistically independent. *)
 
+val split_at : int -> int -> t
+(** [split_at seed i] is the generator the [i]-th call of [split] on
+    [create seed] would return ([i >= 1]), computed as a pure O(1)
+    function of [(seed, i)].  Parallel workers use it to seed themselves
+    from their task index, so the result stream is independent of how
+    tasks were distributed over domains. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -305,6 +305,36 @@ let test_campaign_save_load () =
    with Invalid_argument _ -> ());
   Sys.remove path
 
+let test_campaign_load_error_names_file () =
+  let p = Stencils.ldc2d ~n:32 () in
+  let contains hay needle =
+    let ln = String.length needle and lh = String.length hay in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_named path =
+    match Campaign.load p path with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) ("message names the file: " ^ msg) true (contains msg path);
+      Alcotest.(check bool) ("message names the program: " ^ msg) true
+        (contains msg p.Program.name)
+  in
+  (* malformed: not a campaign file at all *)
+  let garbage = Filename.temp_file "kondo_campaign_bad" ".kcam" in
+  let oc = open_out_bin garbage in
+  output_string oc "definitely not a campaign";
+  close_out oc;
+  expect_named garbage;
+  Sys.remove garbage;
+  (* well-formed but for a different program *)
+  let other = Filename.temp_file "kondo_campaign_other" ".kcam" in
+  let config = { Config.default with Config.max_iter = 30; stop_iter = 30 } in
+  let q = Stencils.rdc2d ~n:32 () in
+  Campaign.save (Campaign.extend ~config q (Campaign.fresh q) 1) other;
+  expect_named other;
+  Sys.remove other
+
 (* ---------------- Multi-dataset debloating ---------------- *)
 
 let test_debloat_file_many () =
@@ -370,4 +400,6 @@ let suite =
       Alcotest.test_case "campaign accumulates" `Quick test_campaign_accumulates;
       Alcotest.test_case "campaign recall improves" `Quick test_campaign_recall_improves;
       Alcotest.test_case "campaign save/load" `Quick test_campaign_save_load;
+      Alcotest.test_case "campaign load errors name file and program" `Quick
+        test_campaign_load_error_names_file;
       Alcotest.test_case "multi-dataset debloat (footnote 1)" `Quick test_debloat_file_many ] )

@@ -4,6 +4,7 @@
 let () =
   Alcotest.run "kondo"
     [ Test_prng.suite;
+      Test_parallel.suite;
       Test_geometry.suite;
       Test_dataarray.suite;
       Test_interval.suite;

@@ -1,0 +1,189 @@
+(* kondo_parallel: pool semantics (exception propagation, jobs = 1
+   fallback, nested-use rejection, order preservation) and the
+   determinism contract of the parallel fan-out paths — jobs = 4 must be
+   bit-identical to jobs = 1 through the whole stack. *)
+
+open Kondo_prng
+open Kondo_dataarray
+open Kondo_workload
+open Kondo_core
+open Kondo_parallel
+
+(* ---------------- Pool unit tests ---------------- *)
+
+let test_map_reduce_sum () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      let sum =
+        Pool.map_reduce pool ~n:100 ~map:(fun i -> i * i) ~reduce:( + ) ~init:0
+      in
+      Alcotest.(check int) (Printf.sprintf "sum of squares, jobs=%d" jobs) 328350 sum)
+    [ 1; 2; 4; 7 ]
+
+let test_reduce_in_index_order () =
+  let pool = Pool.create ~jobs:4 in
+  let order =
+    Pool.map_reduce pool ~n:50 ~map:(fun i -> i) ~reduce:(fun acc i -> i :: acc) ~init:[]
+  in
+  Alcotest.(check (list int)) "reduced left-to-right" (List.init 50 (fun i -> 49 - i)) order
+
+let test_map_list_order () =
+  let pool = Pool.create ~jobs:3 in
+  let xs = List.init 37 (fun i -> i) in
+  Alcotest.(check (list int)) "map_list preserves order"
+    (List.map (fun x -> x * 3) xs)
+    (Pool.map_list pool (fun x -> x * 3) xs)
+
+let test_empty_and_singleton () =
+  let pool = Pool.create ~jobs:4 in
+  Alcotest.(check int) "n=0" 42 (Pool.map_reduce pool ~n:0 ~map:(fun _ -> 0) ~reduce:( + ) ~init:42);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map_list pool (fun x -> x + 1) [ 8 ])
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      match
+        Pool.map_reduce pool ~n:10
+          ~map:(fun i -> if i >= 3 then failwith (Printf.sprintf "boom %d" i) else i)
+          ~reduce:( + ) ~init:0
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+        (* leftmost failing task wins deterministically *)
+        Alcotest.(check string) (Printf.sprintf "leftmost failure, jobs=%d" jobs) "boom 3" msg)
+    [ 1; 4 ]
+
+let test_invalid_jobs () =
+  (try
+     ignore (Pool.create ~jobs:0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "jobs clamped" 64 (Pool.jobs (Pool.create ~jobs:10_000))
+
+let test_nested_use_rejected () =
+  let outer = Pool.create ~jobs:2 in
+  let inner = Pool.create ~jobs:2 in
+  match
+    Pool.map_reduce outer ~n:4
+      ~map:(fun i ->
+        Pool.map_reduce inner ~n:2 ~map:(fun j -> i + j) ~reduce:( + ) ~init:0)
+      ~reduce:( + ) ~init:0
+  with
+  | _ -> Alcotest.fail "expected nested use to be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_sequential_nesting_allowed () =
+  (* jobs = 1 is the legacy path: no worker domains, nesting is fine. *)
+  let outer = Pool.create ~jobs:1 in
+  let inner = Pool.create ~jobs:1 in
+  let v =
+    Pool.map_reduce outer ~n:3
+      ~map:(fun i ->
+        Pool.map_reduce inner ~n:3 ~map:(fun j -> i * j) ~reduce:( + ) ~init:0)
+      ~reduce:( + ) ~init:0
+  in
+  Alcotest.(check int) "nested sequential pools" 9 v
+
+(* ---------------- split_at ---------------- *)
+
+let test_split_at_matches_split () =
+  let seed = 12345 in
+  let parent = Rng.create seed in
+  for i = 1 to 20 do
+    let child = Rng.split parent in
+    let direct = Rng.split_at seed i in
+    Alcotest.(check int64) (Printf.sprintf "child %d" i) (Rng.bits64 child)
+      (Rng.bits64 direct)
+  done
+
+(* ---------------- determinism parity through the stack ---------------- *)
+
+let small_config seed =
+  { Config.default with Config.seed; max_iter = 120; stop_iter = 120 }
+
+let parity_programs = [| Stencils.cs ~n:48 1; Stencils.ldc2d ~n:48 (); Stencils.prl2d ~n:48 () |]
+
+let test_campaign_parity () =
+  QCheck.Test.make ~count:12 ~name:"Campaign.extend: jobs=4 observed == jobs=1"
+    QCheck.(pair (int_range 1 1000) (int_range 0 2))
+    (fun (seed, pi) ->
+      let p = parity_programs.(pi) in
+      let run jobs =
+        let config = Config.with_jobs (small_config seed) jobs in
+        Campaign.observed (Campaign.extend ~config p (Campaign.fresh p) 5)
+      in
+      Index_set.equal (run 1) (run 4))
+
+let test_campaign_resume_parity () =
+  (* 2 + 3 rounds across two sessions equals 5 rounds in one, regardless
+     of jobs: round seeds are a pure function of the round number. *)
+  let p = parity_programs.(0) in
+  let config = Config.with_jobs (small_config 99) 4 in
+  let split_sessions =
+    Campaign.extend ~config p (Campaign.extend ~config p (Campaign.fresh p) 2) 3
+  in
+  let one_session =
+    Campaign.extend ~config:(Config.with_jobs (small_config 99) 1) p (Campaign.fresh p) 5
+  in
+  Alcotest.(check bool) "resumed == one-shot" true
+    (Index_set.equal (Campaign.observed split_sessions) (Campaign.observed one_session))
+
+let test_carve_parity () =
+  QCheck.Test.make ~count:8 ~name:"Carver: jobs=4 I'_Theta == jobs=1"
+    QCheck.(pair (int_range 1 1000) (int_range 0 2))
+    (fun (seed, pi) ->
+      let p = parity_programs.(pi) in
+      let approx jobs =
+        let config = Config.with_jobs (small_config seed) jobs in
+        let c = Campaign.extend ~config p (Campaign.fresh p) 2 in
+        Campaign.carve ~config p c
+      in
+      Index_set.equal (approx 1) (approx 4))
+
+let test_debloat_file_many_parity () =
+  let programs =
+    [ Program.with_dataset (Stencils.ldc2d ~n:24 ()) "left";
+      Program.with_dataset (Stencils.rdc2d ~n:24 ()) "right" ]
+  in
+  let mk p =
+    Kondo_h5.Dataset.dense ~name:p.Program.dataset ~dtype:p.Program.dtype
+      ~shape:p.Program.shape ()
+  in
+  let src = Filename.temp_file "kondo_par_src" ".kh5" in
+  Kondo_h5.Writer.write src (List.map (fun p -> (mk p, Datafile.fill)) programs);
+  let bytes_of path =
+    let ic = open_in_bin path in
+    let b = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    b
+  in
+  let debloat jobs =
+    let dst = Filename.temp_file "kondo_par_dst" ".kh5" in
+    let config = Config.with_jobs (small_config 5) jobs in
+    ignore (Pipeline.debloat_file_many ~config programs ~src ~dst);
+    let b = bytes_of dst in
+    Sys.remove dst;
+    b
+  in
+  let b1 = debloat 1 and b4 = debloat 4 in
+  Sys.remove src;
+  Alcotest.(check bool) "debloated files byte-identical" true (String.equal b1 b4)
+
+let suite =
+  ( "parallel",
+    [ Alcotest.test_case "map_reduce sums across jobs counts" `Quick test_map_reduce_sum;
+      Alcotest.test_case "reduce runs in index order" `Quick test_reduce_in_index_order;
+      Alcotest.test_case "map_list preserves order" `Quick test_map_list_order;
+      Alcotest.test_case "empty and singleton inputs" `Quick test_empty_and_singleton;
+      Alcotest.test_case "leftmost exception propagates" `Quick test_exception_propagation;
+      Alcotest.test_case "jobs < 1 rejected, huge jobs clamped" `Quick test_invalid_jobs;
+      Alcotest.test_case "nested parallel use rejected" `Quick test_nested_use_rejected;
+      Alcotest.test_case "jobs=1 fallback permits nesting" `Quick test_sequential_nesting_allowed;
+      Alcotest.test_case "Rng.split_at == i-th split" `Quick test_split_at_matches_split;
+      QCheck_alcotest.to_alcotest (test_campaign_parity ());
+      Alcotest.test_case "campaign resume parity across jobs" `Quick test_campaign_resume_parity;
+      QCheck_alcotest.to_alcotest (test_carve_parity ());
+      Alcotest.test_case "debloat_file_many byte-identical across jobs" `Quick
+        test_debloat_file_many_parity ] )
