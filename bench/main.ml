@@ -26,6 +26,7 @@ let experiments =
     ("idioms", "Extension: real-application subsetting idioms", Exp_idioms.run);
     ("filelevel", "Extension: offset-level vs file-level debloating", Exp_filelevel.run);
     ("parallel", "Parallel engine: sequential vs domain-parallel wall time", Exp_parallel.run);
+    ("faults", "Fault tolerance: served reads under swept fault rates", Exp_faults.run);
     ("micro", "Bechamel micro-benchmarks", Microbench.run) ]
 
 let list_ids () =

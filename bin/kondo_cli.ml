@@ -11,6 +11,7 @@
 open Cmdliner
 open Kondo_dataarray
 open Kondo_workload
+open Kondo_container
 open Kondo_core
 
 let find_program name n m =
@@ -128,30 +129,122 @@ let params_arg =
     & opt (some (list float)) None
     & info [ "params" ] ~docv:"V1,V2,..." ~doc:"Parameter value for the run.")
 
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"SRC"
+        ~doc:
+          "Serve carved-away offsets from this source file (the \"remote server\" copy of \
+           paper SecVI) through the fault-tolerant fetch path: retry with capped \
+           exponential backoff, a per-mount circuit breaker, and CRC-verified payloads. \
+           Reads the remote cannot serve degrade to structured misses instead of \
+           aborting the run.")
+
+let remote_retries_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "remote-retries" ] ~docv:"N"
+        ~doc:"Maximum retries per remote fetch (so N+1 attempts in total).")
+
+let remote_deadline_arg =
+  Arg.(
+    value
+    & opt float 5000.0
+    & info [ "remote-deadline-ms" ] ~docv:"MS"
+        ~doc:"Virtual time budget per remote fetch across attempts and backoff delays.")
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault-injection plan for remote fetches (test drives), e.g. \
+           seed=7,transient=0.2,timeout=0.05,corrupt=0.1. Keys: seed, transient, \
+           timeout, timeout-cost-ms, short, corrupt, permanent; rates are per-call \
+           probabilities in [0,1]. The n-th decision at a call site is a pure function \
+           of (seed, site, n), so runs reproduce exactly.")
+
+let parse_fault_plan s =
+  match Kondo_faults.Fault_plan.of_string s with
+  | Ok plan -> plan
+  | Error msg ->
+    Printf.eprintf "bad --fault-plan: %s\n" msg;
+    exit 2
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let b = Bytes.create (in_channel_length ic) in
+  really_input ic b 0 (Bytes.length b);
+  close_in ic;
+  b
+
+(* Run the program's access plan through the hardened container runtime:
+   local reads from [path], carved-away offsets fetched from [src] under
+   the retry/breaker machinery (and any injected faults). *)
+let run_with_remote p v ~path ~src ~retries ~deadline_ms ~plan =
+  let retry =
+    { Kondo_faults.Retry.default with
+      Kondo_faults.Retry.max_attempts = retries + 1;
+      deadline_ms }
+  in
+  let dst = "/data" in
+  let spec = { Spec.empty with Spec.base = "scratch"; data_deps = [ { Spec.src; dst } ] } in
+  let image = Image.build spec ~fetch:(fun _ -> read_whole_file path) in
+  let dir = Filename.temp_file "kondo_run" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rt = Runtime.boot ~remote:true ~faults:plan ~retry ~image ~dir () in
+  let degraded = ref 0 in
+  Program.iter_access p v (fun idx ->
+      match Runtime.try_read_element rt ~dst ~dataset:p.Program.dataset idx with
+      | Ok _ -> ()
+      | Error (Runtime.Degraded _) -> incr degraded
+      | Error exn -> raise exn);
+  let s = Runtime.stats rt in
+  Printf.printf "read %d elements: %d local, %d remote-fetched, %d degraded\n" s.Runtime.reads
+    (s.Runtime.reads - s.Runtime.misses)
+    s.Runtime.remote_fetches !degraded;
+  Printf.printf "remote: %d retries, %d breaker trips, %d corrupt payloads, %d bytes fetched\n"
+    s.Runtime.retries s.Runtime.breaker_trips s.Runtime.corrupt_fetches s.Runtime.remote_bytes;
+  if !degraded > 0 then
+    Printf.printf "run completed with degraded reads — %d offsets unavailable locally and remotely\n"
+      !degraded
+  else Printf.printf "run fully served\n";
+  Runtime.shutdown rt
+
 let run_cmd =
-  let run name n m params path =
+  let run name n m params path remote retries deadline_ms fault_plan =
     let p = find_program name n m in
     let v = Array.of_list params in
     if Array.length v <> Program.arity p then begin
       Printf.eprintf "%s expects %d parameters\n" p.Program.name (Program.arity p);
       exit 2
     end;
-    let f = Kondo_h5.File.open_file path in
-    (try
-       let elems = Program.run_io p f v in
-       Printf.printf "read %d elements — run supported by this file\n" elems
-     with Kondo_h5.File.Data_missing miss ->
-       Printf.printf "DATA MISSING at index (%s), byte offset %d — not containerized for this valuation\n"
-         (String.concat ","
-            (Array.to_list (Array.map string_of_int miss.Kondo_h5.File.index)))
-         miss.Kondo_h5.File.offset;
-       Kondo_h5.File.close f;
-       exit 1);
-    Kondo_h5.File.close f
+    let plan = parse_fault_plan fault_plan in
+    match remote with
+    | Some src -> run_with_remote p v ~path ~src ~retries ~deadline_ms ~plan
+    | None ->
+      let f = Kondo_h5.File.open_file path in
+      (try
+         let elems = Program.run_io p f v in
+         Printf.printf "read %d elements — run supported by this file\n" elems
+       with Kondo_h5.File.Data_missing miss ->
+         Printf.printf "DATA MISSING at index (%s), byte offset %d — not containerized for this valuation\n"
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int miss.Kondo_h5.File.index)))
+           miss.Kondo_h5.File.offset;
+         Kondo_h5.File.close f;
+         exit 1);
+      Kondo_h5.File.close f
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program against a KH5 file (original or debloated).")
-    Term.(const run $ program_arg $ n_arg $ m_arg $ params_arg $ path_arg 0 "KH5 data file.")
+    Term.(
+      const run $ program_arg $ n_arg $ m_arg $ params_arg $ path_arg 0 "KH5 data file."
+      $ remote_arg $ remote_retries_arg $ remote_deadline_arg $ fault_plan_arg)
 
 (* ---- report ---- *)
 
@@ -250,7 +343,15 @@ let campaign_cmd =
     let config = config_of ~jobs seed max_iter in
     let c =
       if Sys.file_exists state then (
-        try Campaign.load p state
+        try
+          let c, intact = Campaign.salvage p state in
+          if not intact then
+            Printf.eprintf
+              "warning: %s was truncated or corrupt; salvaged %d observed indices over %d rounds\n"
+              state
+              (Index_set.cardinal (Campaign.observed c))
+              (Campaign.rounds c);
+          c
         with Invalid_argument msg ->
           Printf.eprintf "cannot resume campaign: %s\n" msg;
           exit 2)

@@ -5,6 +5,12 @@
     audited runs.  The log format is a compact LEB128-varint stream with
     a path string table (paths repeat across events), written append-only.
 
+    Since format v2 every appended record group is CRC-framed
+    ({!Kondo_faults.Frame}) and flushed, so a crash at {e any} byte
+    leaves a salvageable prefix: {!load} drops a torn or corrupted tail
+    and returns the longest valid event prefix instead of failing the
+    whole log.  v1 logs still load.
+
     A saved log reloads into the exact event list; [replay] folds a log
     into a fresh {!Tracer} to rebuild its interval indexes. *)
 
@@ -14,14 +20,21 @@ val create_writer : string -> writer
 (** Truncates/creates the file and writes the header. *)
 
 val log : writer -> Event.t -> unit
+(** Append one CRC-framed record group and flush. *)
 
 val close_writer : writer -> unit
 
 val save : string -> Event.t list -> unit
-(** One-shot: write a whole event list. *)
+(** One-shot: write a whole event list atomically (temp file + rename). *)
 
 val load : string -> Event.t list
-(** @raise Failure on malformed logs. *)
+(** Longest valid prefix of the log; a truncated or corrupted tail is
+    dropped, not an error.  @raise Failure on logs that are not event
+    logs at all (bad magic, malformed v1 streams). *)
+
+val load_salvage : string -> Event.t list * bool
+(** Like {!load}, also reporting whether the log was fully intact
+    ([false] when a torn/corrupt tail was dropped). *)
 
 val replay : string -> Tracer.t
 (** Load a log and rebuild a tracer from it (event sequence numbers are

@@ -1,4 +1,5 @@
 open Kondo_dataarray
+open Kondo_faults
 module Kfile = Kondo_h5.File
 
 type stats = {
@@ -6,6 +7,10 @@ type stats = {
   mutable misses : int;
   mutable remote_fetches : int;
   mutable remote_bytes : int;
+  mutable retries : int;
+  mutable breaker_trips : int;
+  mutable degraded_reads : int;
+  mutable corrupt_fetches : int;
 }
 
 type mount = {
@@ -13,11 +18,41 @@ type mount = {
   local : Kfile.t;
   src : string; (* original source path, the "remote server" copy *)
   mutable remote_file : Kfile.t option;
+  breaker : Breaker.t;
 }
 
-type t = { image : Image.t; mounts : mount list; remote : bool; stats : stats }
+type degraded_cause =
+  | Breaker_open
+  | Fetch_failed of Fault.error
 
-let boot ?tracer ?(remote = false) ~image ~dir () =
+exception Degraded of { missing : Kfile.missing; cause : degraded_cause }
+
+let cause_to_string = function
+  | Breaker_open -> "circuit breaker open"
+  | Fetch_failed e -> Fault.to_string e
+
+let () =
+  Printexc.register_printer (function
+    | Degraded { missing; cause } ->
+      Some
+        (Printf.sprintf "Runtime.Degraded(%s:%s at offset %d: %s)" missing.Kfile.path
+           missing.Kfile.dataset missing.Kfile.offset (cause_to_string cause))
+    | _ -> None)
+
+type t = {
+  image : Image.t;
+  mounts : mount list;
+  remote : bool;
+  faults : Fault_plan.t;
+  retry : Retry.policy;
+  rng : Kondo_prng.Rng.t; (* jitter stream: seeded from the plan, advanced per fetch *)
+  mutable now_ms : float; (* virtual clock fed by retry outcomes *)
+  stats : stats;
+}
+
+let boot ?tracer ?(remote = false) ?(faults = Fault_plan.none) ?(retry = Retry.default)
+    ?(breaker = Breaker.default) ~image ~dir () =
+  Retry.validate retry;
   let mapping = Image.materialize image ~dir in
   let mounts =
     List.map
@@ -27,17 +62,43 @@ let boot ?tracer ?(remote = false) ~image ~dir () =
           | Some d -> d.Spec.src
           | None -> ""
         in
-        { dst; local = Kfile.open_file ?tracer path; src; remote_file = None })
+        { dst;
+          local = Kfile.open_file ?tracer path;
+          src;
+          remote_file = None;
+          breaker = Breaker.create ~config:breaker () })
       mapping
   in
-  { image; mounts; remote; stats = { reads = 0; misses = 0; remote_fetches = 0; remote_bytes = 0 } }
+  { image;
+    mounts;
+    remote;
+    faults;
+    retry;
+    rng = Kondo_prng.Rng.create (Fault_plan.seed faults);
+    now_ms = 0.0;
+    stats =
+      { reads = 0;
+        misses = 0;
+        remote_fetches = 0;
+        remote_bytes = 0;
+        retries = 0;
+        breaker_trips = 0;
+        degraded_reads = 0;
+        corrupt_fetches = 0 } }
 
 let mount t dst =
   match List.find_opt (fun m -> String.equal m.dst dst) t.mounts with
   | Some m -> m
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Runtime.mount: no mount at %S (mounted: %s)" dst
+         (match t.mounts with
+         | [] -> "none"
+         | ms -> String.concat ", " (List.map (fun m -> m.dst) ms)))
 
 let file t ~dst = (mount t dst).local
+
+let breaker_state t ~dst = Breaker.state (mount t dst).breaker
 
 let remote_file t m =
   match m.remote_file with
@@ -50,20 +111,91 @@ let remote_file t m =
     end
     else None
 
-let read_element t ~dst ~dataset idx =
+let sync_breaker_stats t =
+  t.stats.breaker_trips <-
+    List.fold_left (fun acc m -> acc + (Breaker.stats m.breaker).Breaker.trips) 0 t.mounts
+
+(* One remote fetch protocol round: the server reads the element and
+   returns (payload, CRC-32 of payload); the fault plan may preempt the
+   round, truncate the payload, or corrupt it after the CRC was
+   computed.  The client end verifies length and CRC — KH5's own data
+   corruption defense, reused at element granularity — and converts a
+   mismatch into a retryable [Corrupt] error. *)
+let fetch_once t m f ~dataset idx =
+  let payload_len = 8 in
+  let attempt =
+    Fault_plan.wrap t.faults
+      ~site:("fetch:" ^ m.dst)
+      ~shorten:(fun (b, crc) -> (Bytes.sub b 0 (Bytes.length b - 1), crc))
+      ~corrupt:(fun (b, crc) ->
+        let b = Bytes.copy b in
+        Bytes.set_uint8 b 0 (Bytes.get_uint8 b 0 lxor 0xFF);
+        (b, crc))
+      (fun () ->
+        match Kfile.read_element f dataset idx with
+        | v ->
+          let b = Bytes.create payload_len in
+          Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+          Ok (b, Kondo_h5.Binio.crc32 b)
+        | exception Kfile.Data_missing _ ->
+          Error (Fault.Permanent "offset also missing at the remote source")
+        | exception Kondo_h5.Binio.Corrupt msg ->
+          Error (Fault.Permanent (Printf.sprintf "remote source corrupt (%s)" msg)))
+  in
+  match attempt with
+  | Error _ as e -> e
+  | Ok (payload, crc) ->
+    if Bytes.length payload <> payload_len then
+      Error (Fault.Transient (Printf.sprintf "short read (%d of %d bytes)" (Bytes.length payload) payload_len))
+    else if Kondo_h5.Binio.crc32 payload <> crc then begin
+      t.stats.corrupt_fetches <- t.stats.corrupt_fetches + 1;
+      Error (Fault.Corrupt "payload CRC mismatch")
+    end
+    else Ok (Int64.float_of_bits (Bytes.get_int64_le payload 0))
+
+let degrade t miss cause =
+  t.stats.degraded_reads <- t.stats.degraded_reads + 1;
+  sync_breaker_stats t;
+  Error (Degraded { missing = miss; cause })
+
+(* Serve a miss remotely: breaker gate, then retry/backoff around the
+   CRC-verified fetch protocol.  Every failure path lands in a
+   structured [Degraded] value — never a leaked exception. *)
+let fetch_remote t m ~dataset idx (miss : Kfile.missing) =
+  match remote_file t m with
+  | None -> Error (Kfile.Data_missing miss)
+  | Some f ->
+    if not (Breaker.allow m.breaker ~now_ms:t.now_ms) then degrade t miss Breaker_open
+    else begin
+      let outcome =
+        Retry.run t.retry ~rng:t.rng (fun ~attempt:_ -> fetch_once t m f ~dataset idx)
+      in
+      t.now_ms <- t.now_ms +. outcome.Retry.elapsed_ms +. 1.0;
+      t.stats.retries <- t.stats.retries + Retry.retries outcome;
+      match outcome.Retry.result with
+      | Ok v ->
+        Breaker.record_success m.breaker;
+        t.stats.remote_fetches <- t.stats.remote_fetches + 1;
+        let ds = Kfile.find f dataset in
+        t.stats.remote_bytes <- t.stats.remote_bytes + Dtype.size ds.Kondo_h5.Dataset.dtype;
+        sync_breaker_stats t;
+        Ok v
+      | Error e ->
+        Breaker.record_failure m.breaker ~now_ms:t.now_ms;
+        degrade t miss (Fetch_failed e)
+    end
+
+let try_read_element t ~dst ~dataset idx =
   let m = mount t dst in
   t.stats.reads <- t.stats.reads + 1;
-  try Kfile.read_element m.local dataset idx
-  with Kfile.Data_missing _ as exn -> (
+  match Kfile.read_element m.local dataset idx with
+  | v -> Ok v
+  | exception Kfile.Data_missing miss ->
     t.stats.misses <- t.stats.misses + 1;
-    match remote_file t m with
-    | Some f ->
-      let v = Kfile.read_element f dataset idx in
-      t.stats.remote_fetches <- t.stats.remote_fetches + 1;
-      let ds = Kfile.find f dataset in
-      t.stats.remote_bytes <- t.stats.remote_bytes + Dtype.size ds.Kondo_h5.Dataset.dtype;
-      v
-    | None -> raise exn)
+    fetch_remote t m ~dataset idx miss
+
+let read_element t ~dst ~dataset idx =
+  match try_read_element t ~dst ~dataset idx with Ok v -> v | Error exn -> raise exn
 
 let read_slab t ~dst ~dataset slab f =
   let m = mount t dst in

@@ -1,38 +1,88 @@
 open Kondo_dataarray
 open Kondo_audit
+open Kondo_faults
 
-(** Kondo's user-side runtime (paper §III).
+(** Kondo's user-side runtime (paper §III, hardened per §VI).
 
     Boots an image in a directory, opens its (possibly debloated) data
     files, and serves reads.  An access to a carved-away offset raises
     the data-missing exception — or, when remote fallback is enabled
-    (§VI), transparently fetches the value from the original file at its
-    source location, as a container runtime would pull missing offsets
-    from a remote server.  Statistics record how often either happened. *)
+    (§VI), fetches the value from the original file at its source
+    location the way a container runtime pulls missing offsets from a
+    remote server.
+
+    The remote path is fault-tolerant: fetches run under a retry
+    combinator with capped exponential backoff and a deadline budget, a
+    per-mount circuit breaker stops hammering a failing source, and
+    payloads are CRC-32-verified (a mismatch is a retryable fault).  A
+    {!Fault_plan} injects deterministic failures into the fetch protocol
+    for tests and benches.  When every recovery avenue is exhausted the
+    read degrades to a structured {!Degraded} error carrying the missing
+    offset and the cause — never an arbitrary leaked exception.
+    Statistics account for every path. *)
 
 type stats = {
   mutable reads : int;          (** element reads served *)
   mutable misses : int;         (** reads that hit carved-away data *)
   mutable remote_fetches : int; (** misses satisfied remotely *)
   mutable remote_bytes : int;   (** bytes pulled from the remote source *)
+  mutable retries : int;        (** extra fetch attempts beyond the first *)
+  mutable breaker_trips : int;  (** circuit-breaker open transitions *)
+  mutable degraded_reads : int; (** remote-path reads that degraded to {!Degraded} *)
+  mutable corrupt_fetches : int;(** payloads that failed CRC verification *)
 }
+
+type degraded_cause =
+  | Breaker_open                  (** the mount's circuit breaker refused the fetch *)
+  | Fetch_failed of Fault.error   (** last error once retries/deadline were exhausted *)
+
+exception Degraded of { missing : Kondo_h5.File.missing; cause : degraded_cause }
+(** The structured data-missing-with-cause failure of the remote path:
+    which offset was missing locally, and why the remote fetch could not
+    serve it. *)
+
+val cause_to_string : degraded_cause -> string
 
 type t
 
-val boot : ?tracer:Tracer.t -> ?remote:bool -> image:Image.t -> dir:string -> unit -> t
+val boot :
+  ?tracer:Tracer.t ->
+  ?remote:bool ->
+  ?faults:Fault_plan.t ->
+  ?retry:Retry.policy ->
+  ?breaker:Breaker.config ->
+  image:Image.t ->
+  dir:string ->
+  unit ->
+  t
 (** Materialize the image's data layers under [dir] and open them.
     [remote] (default false) enables fallback to each data dependency's
-    [src] file.  [tracer] audits the container's reads. *)
+    [src] file.  [faults] (default {!Fault_plan.none}) injects
+    deterministic failures into remote fetches; [retry] and [breaker]
+    tune the recovery machinery.  [tracer] audits the container's
+    reads. *)
 
 val read_element : t -> dst:string -> dataset:string -> int array -> float
 (** @raise Kondo_h5.File.Data_missing when the offset was carved away
-    and remote fallback is off or the source file is unavailable. *)
+    and remote fallback is off or the source file is unavailable.
+    @raise Degraded when remote fallback was attempted and exhausted
+    its retry budget, hit its circuit breaker, or failed permanently. *)
+
+val try_read_element :
+  t -> dst:string -> dataset:string -> int array -> (float, exn) result
+(** Non-raising variant: [Error] carries exactly the exception
+    {!read_element} would have raised. *)
 
 val read_slab :
   t -> dst:string -> dataset:string -> Hyperslab.t -> (int array -> float -> unit) -> unit
 
 val file : t -> dst:string -> Kondo_h5.File.t
-(** Direct access to an opened data file. *)
+(** Direct access to an opened data file.
+    @raise Invalid_argument for an unknown mount point, naming the
+    requested destination and the available mounts. *)
+
+val breaker_state : t -> dst:string -> Breaker.state
+(** The mount's circuit-breaker state. *)
 
 val stats : t -> stats
 

@@ -1,5 +1,6 @@
 open Kondo_dataarray
 open Kondo_workload
+open Kondo_faults
 
 type t = { name : string; rounds : int; observed : Index_set.t }
 
@@ -27,53 +28,147 @@ let carve ~config p t =
   Index_set.union_into approx t.observed;
   approx
 
-let magic = "KCAM\x01"
+let magic_v1 = "KCAM\x01"
+let magic = "KCAM\x02"
+
+(* v2 layout: magic, then CRC frames ({!Kondo_faults.Frame}) — a header
+   frame (rounds, program name) followed by the observed-set bytes in
+   chunked frames.  Chunking bounds what a torn tail can destroy: a
+   loader salvages every intact frame and zero-fills the rest of the
+   bitmask, losing at most the last chunk of observations instead of
+   the whole campaign. *)
+let chunk_size = 4096
 
 let save t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Frame.atomic_write path (fun oc ->
       output_string oc magic;
-      let name = Bytes.of_string t.name in
-      let hdr = Bytes.create 8 in
-      Bytes.set_int32_le hdr 0 (Int32.of_int t.rounds);
-      Bytes.set_int32_le hdr 4 (Int32.of_int (Bytes.length name));
-      output_bytes oc hdr;
-      output_bytes oc name;
-      output_bytes oc (Index_set.to_bytes t.observed))
+      let hdr = Buffer.create 64 in
+      Buffer.add_int32_le hdr (Int32.of_int t.rounds);
+      Buffer.add_int32_le hdr (Int32.of_int (String.length t.name));
+      Buffer.add_string hdr t.name;
+      Frame.write oc (Buffer.contents hdr);
+      let bytes = Index_set.to_bytes t.observed in
+      let n = Bytes.length bytes in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min chunk_size (n - !pos) in
+        Frame.write oc (Bytes.sub_string bytes !pos len);
+        pos := !pos + len
+      done)
+
+type parsed =
+  | Parsed of t * bool (* campaign, file fully intact *)
+  | Corrupt of string
+  | Mismatch of string
+
+let fail_of path p msg =
+  Invalid_argument
+    (Printf.sprintf "Campaign.load %S (program %s): %s" path p.Program.name msg)
+
+let parse_v1 p buf =
+  let n = Bytes.length buf in
+  let base = String.length magic_v1 in
+  if n < base + 8 then Corrupt "truncated header"
+  else begin
+    let rounds = Int32.to_int (Bytes.get_int32_le buf base) in
+    let name_len = Int32.to_int (Bytes.get_int32_le buf (base + 4)) in
+    if name_len < 0 || name_len > 4096 || base + 8 + name_len > n then
+      Corrupt (Printf.sprintf "bad name length %d" name_len)
+    else begin
+      let name = Bytes.sub_string buf (base + 8) name_len in
+      if not (String.equal name p.Program.name) then
+        Mismatch (Printf.sprintf "campaign belongs to program %s" name)
+      else begin
+        let rest = Bytes.sub buf (base + 8 + name_len) (n - base - 8 - name_len) in
+        match Index_set.of_bytes rest with
+        | exception Invalid_argument msg -> Corrupt (Printf.sprintf "corrupt observed set (%s)" msg)
+        | observed ->
+          if not (Shape.equal (Index_set.shape observed) p.Program.shape) then
+            Mismatch
+              (Printf.sprintf "shape mismatch (%s in file, program wants %s)"
+                 (Shape.to_string (Index_set.shape observed))
+                 (Shape.to_string p.Program.shape))
+          else Parsed ({ name; rounds; observed }, true)
+      end
+    end
+  end
+
+(* Rebuild the observed set from a (possibly partial) prefix of its
+   serialized bytes: verify any salvaged piece of the embedded shape
+   header against the program, zero-fill the missing bitmask tail. *)
+let observed_of_prefix p prefix =
+  let dims = Shape.dims p.Program.shape in
+  let rank = Array.length dims in
+  let expected = 4 + (4 * rank) + ((Shape.nelems p.Program.shape + 7) / 8) in
+  let got = String.length prefix in
+  if got > expected then Error "observed set longer than the program's shape allows"
+  else begin
+    let full = Bytes.make expected '\000' in
+    Bytes.blit_string prefix 0 full 0 got;
+    (* the full header survived: let of_bytes check it against the shape;
+       a partial header is replaced with the program's own *)
+    if got < 4 + (4 * rank) then begin
+      Bytes.set_int32_le full 0 (Int32.of_int rank);
+      Array.iteri (fun k d -> Bytes.set_int32_le full (4 + (4 * k)) (Int32.of_int d)) dims
+    end;
+    match Index_set.of_bytes full with
+    | exception Invalid_argument msg -> Error (Printf.sprintf "corrupt observed set (%s)" msg)
+    | observed ->
+      if not (Shape.equal (Index_set.shape observed) p.Program.shape) then
+        Error
+          (Printf.sprintf "shape mismatch (%s in file, program wants %s)"
+             (Shape.to_string (Index_set.shape observed))
+             (Shape.to_string p.Program.shape))
+      else Ok (observed, got = expected)
+  end
+
+let parse_v2 p buf =
+  let frames, frames_intact = Frame.read_all buf ~pos:(String.length magic) in
+  match frames with
+  | [] -> Corrupt "no intact header frame"
+  | hdr :: chunks ->
+    if String.length hdr < 8 then Corrupt "short header frame"
+    else begin
+      let hb = Bytes.unsafe_of_string hdr in
+      let rounds = Int32.to_int (Bytes.get_int32_le hb 0) in
+      let name_len = Int32.to_int (Bytes.get_int32_le hb 4) in
+      if name_len < 0 || name_len > 4096 || 8 + name_len <> String.length hdr then
+        Corrupt (Printf.sprintf "bad name length %d" name_len)
+      else if rounds < 0 then Corrupt (Printf.sprintf "bad round count %d" rounds)
+      else begin
+        let name = String.sub hdr 8 name_len in
+        if not (String.equal name p.Program.name) then
+          Mismatch (Printf.sprintf "campaign belongs to program %s" name)
+        else
+          match observed_of_prefix p (String.concat "" chunks) with
+          | Error msg ->
+            if frames_intact then Mismatch msg else Corrupt msg
+          | Ok (observed, complete) ->
+            Parsed ({ name; rounds; observed }, frames_intact && complete)
+      end
+    end
+
+let parse p path =
+  match Frame.read_file path with
+  | exception Sys_error msg -> Corrupt msg
+  | buf ->
+    let have_magic m =
+      Bytes.length buf >= String.length m && Bytes.sub_string buf 0 (String.length m) = m
+    in
+    if have_magic magic then parse_v2 p buf
+    else if have_magic magic_v1 then parse_v1 p buf
+    else if Bytes.length buf < String.length magic then Corrupt "truncated magic"
+    else Mismatch "bad magic"
 
 let load p path =
-  let fail fmt =
-    Printf.ksprintf
-      (fun msg ->
-        invalid_arg
-          (Printf.sprintf "Campaign.load %S (program %s): %s" path p.Program.name msg))
-      fmt
-  in
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let head = really_input_string ic (String.length magic) in
-      if head <> magic then fail "bad magic";
-      let hdr = Bytes.create 8 in
-      really_input ic hdr 0 8;
-      let rounds = Int32.to_int (Bytes.get_int32_le hdr 0) in
-      let name_len = Int32.to_int (Bytes.get_int32_le hdr 4) in
-      if name_len < 0 || name_len > 4096 then fail "bad name length %d" name_len;
-      let name = really_input_string ic name_len in
-      if not (String.equal name p.Program.name) then
-        fail "campaign belongs to program %s" name;
-      let rest_len = in_channel_length ic - pos_in ic in
-      let rest = Bytes.create rest_len in
-      really_input ic rest 0 rest_len;
-      let observed =
-        try Index_set.of_bytes rest
-        with Invalid_argument msg -> fail "corrupt observed set (%s)" msg
-      in
-      if not (Shape.equal (Index_set.shape observed) p.Program.shape) then
-        fail "shape mismatch (%s in file, program wants %s)"
-          (Shape.to_string (Index_set.shape observed))
-          (Shape.to_string p.Program.shape);
-      { name; rounds; observed })
+  match parse p path with
+  | Parsed (t, _) -> t
+  | Corrupt msg | Mismatch msg -> raise (fail_of path p msg)
+
+let salvage p path =
+  if not (Sys.file_exists path) then (fresh p, false)
+  else
+    match parse p path with
+    | Parsed (t, intact) -> (t, intact)
+    | Corrupt _ -> (fresh p, false)
+    | Mismatch msg -> raise (fail_of path p msg)

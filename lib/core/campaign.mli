@@ -29,8 +29,22 @@ val carve : config:Config.t -> Program.t -> t -> Index_set.t
 (** Carve the accumulated observations into the current [I'_Θ]. *)
 
 val save : t -> string -> unit
+(** Atomic and crash-safe: the state is CRC-framed
+    ({!Kondo_faults.Frame}), written to [path ^ ".tmp"], flushed, and
+    renamed over [path] — a crash at any point leaves either the old or
+    the new complete state, never a torn file. *)
 
 val load : Program.t -> string -> t
-(** @raise Invalid_argument when the file belongs to a different program
-    or shape, or is malformed; the message names the offending file and
-    the program. *)
+(** Load a v2 (CRC-framed) or legacy v1 state file.  A v2 file with a
+    truncated or corrupted tail is {e salvaged}: every intact frame of
+    the observed set is kept and the lost tail counts as unobserved, so
+    the campaign still resumes.  @raise Invalid_argument when the file
+    belongs to a different program or shape, or is not a campaign at
+    all; the message names the offending file and the program. *)
+
+val salvage : Program.t -> string -> t * bool
+(** Like {!load} but total over corruption: a missing, torn, or
+    unrecognizable file yields [(fresh p, false)] instead of raising;
+    the boolean reports whether the file was fully intact.  Still
+    raises on a valid campaign for a {e different} program — that is a
+    user error, not corruption. *)

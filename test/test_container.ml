@@ -222,6 +222,117 @@ let test_runtime_remote_fallback () =
   Sys.remove src;
   Sys.remove tmp_deb
 
+(* image whose data layer was debloated to nothing: every read must
+   travel the remote-fetch path *)
+let build_hollow_image () =
+  let p, src, img = build_image ~n:32 () in
+  let empty_keep _ = Kondo_interval.Interval_set.empty in
+  let tmp_deb = Filename.temp_file "kondo_deb" ".kh5" in
+  let f = Kondo_h5.File.open_file src in
+  Kondo_h5.Writer.write_debloated tmp_deb ~source:f ~keep:empty_keep;
+  Kondo_h5.File.close f;
+  let ic = open_in_bin tmp_deb in
+  let content = Bytes.create (in_channel_length ic) in
+  really_input ic content 0 (Bytes.length content);
+  close_in ic;
+  Sys.remove tmp_deb;
+  (p, src, Image.replace_data img ~dst:"/app/data.kh5" content)
+
+let fresh_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let test_mount_error_names_mounts () =
+  let _, src, img = build_image () in
+  let rt = Runtime.boot ~image:img ~dir:(fresh_dir "kondo_rtm") () in
+  (try
+     ignore (Runtime.file rt ~dst:"/nope/missing.kh5");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument msg ->
+     let mentions needle =
+       let nl = String.length needle and ml = String.length msg in
+       let rec scan i = i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1)) in
+       scan 0
+     in
+     Alcotest.(check bool) "names the requested dst" true (mentions "/nope/missing.kh5");
+     Alcotest.(check bool) "names the available mounts" true (mentions "/app/data.kh5"));
+  Runtime.shutdown rt;
+  Sys.remove src
+
+let read_all_truth rt p =
+  let truth = Program.ground_truth p in
+  let served = ref 0 and degraded = ref 0 in
+  Kondo_dataarray.Index_set.iter truth (fun idx ->
+      match Runtime.try_read_element rt ~dst:"/app/data.kh5" ~dataset:p.Program.dataset idx with
+      | Ok v ->
+        Alcotest.(check (float 1e-9)) "value survives the fetch" (Datafile.fill idx) v;
+        incr served
+      | Error (Runtime.Degraded _) -> incr degraded
+      | Error exn -> raise exn);
+  (!served, !degraded)
+
+let transient_plan () =
+  Kondo_faults.Fault_plan.create ~transient:0.2 ~timeout:0.05 ~corrupt:0.25
+    ~short_read:0.05 ~seed:7 ()
+
+let generous_retry =
+  { Kondo_faults.Retry.default with Kondo_faults.Retry.max_attempts = 48;
+    deadline_ms = 1e9 }
+
+let test_runtime_transient_faults_all_served () =
+  let p, src, img = build_hollow_image () in
+  let boot () =
+    Runtime.boot ~remote:true ~faults:(transient_plan ()) ~retry:generous_retry
+      ~image:img ~dir:(fresh_dir "kondo_rtf") ()
+  in
+  let rt = boot () in
+  let served, degraded = read_all_truth rt p in
+  let s = Runtime.stats rt in
+  Alcotest.(check int) "no read degrades" 0 degraded;
+  Alcotest.(check int) "every truth read served" served s.Runtime.remote_fetches;
+  Alcotest.(check bool) "faults forced retries" true (s.Runtime.retries > 0);
+  Alcotest.(check bool) "corrupt payloads detected" true (s.Runtime.corrupt_fetches > 0);
+  Alcotest.(check int) "none degraded in stats" 0 s.Runtime.degraded_reads;
+  Runtime.shutdown rt;
+  (* a fixed fault seed reproduces: identical stats on a second run *)
+  let rt2 = boot () in
+  let served2, degraded2 = read_all_truth rt2 p in
+  let s2 = Runtime.stats rt2 in
+  Alcotest.(check (pair int int)) "served/degraded reproduce" (served, degraded)
+    (served2, degraded2);
+  Alcotest.(check int) "retries reproduce" s.Runtime.retries s2.Runtime.retries;
+  Alcotest.(check int) "corrupt fetches reproduce" s.Runtime.corrupt_fetches
+    s2.Runtime.corrupt_fetches;
+  Runtime.shutdown rt2;
+  Sys.remove src
+
+let test_runtime_permanent_faults_degrade () =
+  let p, src, img = build_hollow_image () in
+  let plan = Kondo_faults.Fault_plan.create ~permanent:1.0 ~seed:7 () in
+  let rt =
+    Runtime.boot ~remote:true ~faults:plan ~image:img ~dir:(fresh_dir "kondo_rtp") ()
+  in
+  let served, degraded = read_all_truth rt p in
+  let s = Runtime.stats rt in
+  Alcotest.(check int) "nothing served" 0 served;
+  Alcotest.(check bool) "every read degrades, none crashes" true (degraded > 0);
+  Alcotest.(check int) "stats account every degraded read" degraded s.Runtime.degraded_reads;
+  Alcotest.(check bool) "breaker tripped" true (s.Runtime.breaker_trips > 0);
+  Alcotest.(check bool) "breaker open" true
+    (Runtime.breaker_state rt ~dst:"/app/data.kh5" <> Kondo_faults.Breaker.Closed);
+  (* the raising variant surfaces the same structured error *)
+  (match
+     Runtime.read_element rt ~dst:"/app/data.kh5" ~dataset:p.Program.dataset [| 0; 0 |]
+   with
+  | _ -> Alcotest.fail "expected Degraded"
+  | exception Runtime.Degraded { missing; cause = _ } ->
+    Alcotest.(check string) "missing names the dataset" p.Program.dataset
+      missing.Kondo_h5.File.dataset);
+  Runtime.shutdown rt;
+  Sys.remove src
+
 let test_materialize_mapping () =
   let _, src, img = build_image () in
   let dir = Filename.temp_file "kondo_mat" "" in
@@ -252,4 +363,9 @@ let suite =
       Alcotest.test_case "image replace data" `Quick test_image_replace_data;
       Alcotest.test_case "runtime serves reads" `Quick test_runtime_serves_reads;
       Alcotest.test_case "runtime remote fallback" `Quick test_runtime_remote_fallback;
+      Alcotest.test_case "mount error names mounts" `Quick test_mount_error_names_mounts;
+      Alcotest.test_case "transient faults: all reads served" `Quick
+        test_runtime_transient_faults_all_served;
+      Alcotest.test_case "permanent faults degrade structurally" `Quick
+        test_runtime_permanent_faults_degrade;
       Alcotest.test_case "image materialize" `Quick test_materialize_mapping ] )

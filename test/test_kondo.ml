@@ -8,6 +8,7 @@ let () =
       Test_geometry.suite;
       Test_dataarray.suite;
       Test_interval.suite;
+      Test_faults.suite;
       Test_audit.suite;
       Test_h5.suite;
       Test_provenance.suite;
