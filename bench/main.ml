@@ -27,6 +27,7 @@ let experiments =
     ("filelevel", "Extension: offset-level vs file-level debloating", Exp_filelevel.run);
     ("parallel", "Parallel engine: sequential vs domain-parallel wall time", Exp_parallel.run);
     ("faults", "Fault tolerance: served reads under swept fault rates", Exp_faults.run);
+    ("store", "Content-addressed store: cache budget sweep over served misses", Exp_store.run);
     ("micro", "Bechamel micro-benchmarks", Microbench.run) ]
 
 let list_ids () =

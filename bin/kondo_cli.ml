@@ -174,6 +174,45 @@ let parse_fault_plan s =
     Printf.eprintf "bad --fault-plan: %s\n" msg;
     exit 2
 
+let remote_store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote-store" ] ~docv:"SOCKET"
+        ~doc:
+          "Serve carved-away offsets from a kondo chunk server listening on this \
+           Unix-domain socket (see $(b,kondo serve)). The store is tried ahead of \
+           $(b,--remote); fetched chunks are verified against the manifest's content \
+           digests and cached client-side. Store failures fall back to $(b,--remote) \
+           when it is also set, else degrade.")
+
+let store_name_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "store-name" ] ~docv:"NAME"
+        ~doc:
+          "Name the served file was registered under at the chunk server. Defaults to \
+           matching the dataset suffix alone, which suffices when the server serves one \
+           file.")
+
+let store_cache_arg =
+  Arg.(
+    value
+    & opt int (256 * 1024)
+    & info [ "store-cache-bytes" ] ~docv:"BYTES"
+        ~doc:"Client-side chunk cache budget (default 256 KiB).")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the runtime's statistics — plus the store client's counters when \
+           $(b,--remote-store) is set — to FILE as a JSON object (feed it to \
+           $(b,kondo report --runtime-stats)).")
+
 let read_whole_file path =
   let ic = open_in_bin path in
   let b = Bytes.create (in_channel_length ic) in
@@ -181,42 +220,136 @@ let read_whole_file path =
   close_in ic;
   b
 
+(* Order-sensitive digest of every value the run read, so CI can check a
+   store-served run byte-for-byte against a local one. *)
+let checksum_empty = Merkle.hash_bytes Bytes.empty
+let checksum_add acc v = Merkle.hash_pair acc (Int64.bits_of_float v)
+
+(* Build the runtime's store source from a chunk-server client: resolve
+   (and memoize) one manifest per dataset, then serve each miss with
+   [Client.read_bytes] over the dataset's logical data section. *)
+let store_source_of_client client ~socket ~store_name =
+  let manifests = Hashtbl.create 4 in
+  let manifest_for dataset =
+    match Hashtbl.find_opt manifests dataset with
+    | Some m -> Ok m
+    | None ->
+      let key =
+        if store_name = "" then "#" ^ dataset else store_name ^ "#" ^ dataset
+      in
+      (match Kondo_store.Client.manifest client ~name:key with
+      | Ok m ->
+        Hashtbl.add manifests dataset m;
+        Ok m
+      | Error _ as e -> e)
+  in
+  { Runtime.source_name = "unix:" ^ socket;
+    store_fetch =
+      (fun ~dst:_ ~dataset ~offset ~length ->
+        match manifest_for dataset with
+        | Error e -> Error e
+        | Ok m -> Kondo_store.Client.read_bytes client m ~offset ~length) }
+
 (* Run the program's access plan through the hardened container runtime:
-   local reads from [path], carved-away offsets fetched from [src] under
-   the retry/breaker machinery (and any injected faults). *)
-let run_with_remote p v ~path ~src ~retries ~deadline_ms ~plan =
+   local reads from [path], carved-away offsets served by the chunk
+   store and/or fetched from [src] under the retry/breaker machinery
+   (and any injected faults). *)
+let run_with_runtime p v ~path ~src ~remote_store ~store_name ~store_cache ~retries
+    ~deadline_ms ~plan ~stats_json =
   let retry =
     { Kondo_faults.Retry.default with
       Kondo_faults.Retry.max_attempts = retries + 1;
       deadline_ms }
   in
   let dst = "/data" in
-  let spec = { Spec.empty with Spec.base = "scratch"; data_deps = [ { Spec.src; dst } ] } in
+  let spec =
+    { Spec.empty with
+      Spec.base = "scratch";
+      data_deps = [ { Spec.src = Option.value src ~default:""; dst } ] }
+  in
   let image = Image.build spec ~fetch:(fun _ -> read_whole_file path) in
   let dir = Filename.temp_file "kondo_run" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
-  let rt = Runtime.boot ~remote:true ~faults:plan ~retry ~image ~dir () in
+  let client, store =
+    match remote_store with
+    | None -> (None, None)
+    | Some socket ->
+      let conn =
+        try Kondo_store.Transport.unix_connect socket
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "cannot connect to store socket %s: %s\n" socket
+            (Unix.error_message e);
+          exit 2
+      in
+      let cache = Kondo_store.Cache.create ~budget_bytes:store_cache () in
+      let client = Kondo_store.Client.connect ~retry ~faults:plan ~cache conn in
+      (Some client, Some (store_source_of_client client ~socket ~store_name))
+  in
+  let rt = Runtime.boot ~remote:(src <> None) ?store ~faults:plan ~retry ~image ~dir () in
   let degraded = ref 0 in
+  let csum = ref checksum_empty in
   Program.iter_access p v (fun idx ->
       match Runtime.try_read_element rt ~dst ~dataset:p.Program.dataset idx with
-      | Ok _ -> ()
+      | Ok value -> csum := checksum_add !csum value
       | Error (Runtime.Degraded _) -> incr degraded
       | Error exn -> raise exn);
   let s = Runtime.stats rt in
-  Printf.printf "read %d elements: %d local, %d remote-fetched, %d degraded\n" s.Runtime.reads
+  Printf.printf "read %d elements: %d local, %d store-served, %d remote-fetched, %d degraded\n"
+    s.Runtime.reads
     (s.Runtime.reads - s.Runtime.misses)
-    s.Runtime.remote_fetches !degraded;
+    s.Runtime.store_fetches s.Runtime.remote_fetches !degraded;
   Printf.printf "remote: %d retries, %d breaker trips, %d corrupt payloads, %d bytes fetched\n"
     s.Runtime.retries s.Runtime.breaker_trips s.Runtime.corrupt_fetches s.Runtime.remote_bytes;
+  let extra =
+    match client with
+    | None -> []
+    | Some c ->
+      let cs = Kondo_store.Client.stats c in
+      Printf.printf
+        "store: %d fetched chunks over %d range GETs, %d corrupt, %d retries, %d client cache hits\n"
+        cs.Kondo_store.Client.fetched_chunks cs.Kondo_store.Client.range_gets
+        cs.Kondo_store.Client.corrupt_fetches cs.Kondo_store.Client.retries
+        cs.Kondo_store.Client.cache_hits;
+      let server_counters =
+        match Kondo_store.Client.stat c with
+        | Ok i ->
+          Printf.printf "store server: %d chunks, cache %d hits / %d misses, %d coalesced\n"
+            i.Kondo_store.Proto.chunks i.Kondo_store.Proto.cache_hits
+            i.Kondo_store.Proto.cache_misses i.Kondo_store.Proto.cache_coalesced;
+          [ ("server_cache_hits", i.Kondo_store.Proto.cache_hits);
+            ("server_cache_misses", i.Kondo_store.Proto.cache_misses);
+            ("server_cache_coalesced", i.Kondo_store.Proto.cache_coalesced) ]
+        | Error _ -> []
+      in
+      [ ("client_requests", cs.Kondo_store.Client.requests);
+        ("client_range_gets", cs.Kondo_store.Client.range_gets);
+        ("client_fetched_chunks", cs.Kondo_store.Client.fetched_chunks);
+        ("client_fetched_bytes", cs.Kondo_store.Client.fetched_bytes);
+        ("client_corrupt_fetches", cs.Kondo_store.Client.corrupt_fetches);
+        ("client_retries", cs.Kondo_store.Client.retries);
+        ("client_cache_hits", cs.Kondo_store.Client.cache_hits) ]
+      @ server_counters
+  in
+  Printf.printf "value checksum: %016Lx\n" !csum;
   if !degraded > 0 then
     Printf.printf "run completed with degraded reads — %d offsets unavailable locally and remotely\n"
       !degraded
   else Printf.printf "run fully served\n";
-  Runtime.shutdown rt
+  (match stats_json with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Runtime.stats_to_json ~extra s);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "stats written to %s\n" file);
+  Runtime.shutdown rt;
+  Option.iter Kondo_store.Client.close client
 
 let run_cmd =
-  let run name n m params path remote retries deadline_ms fault_plan =
+  let run name n m params path remote retries deadline_ms fault_plan remote_store
+      store_name store_cache stats_json =
     let p = find_program name n m in
     let v = Array.of_list params in
     if Array.length v <> Program.arity p then begin
@@ -224,13 +357,21 @@ let run_cmd =
       exit 2
     end;
     let plan = parse_fault_plan fault_plan in
-    match remote with
-    | Some src -> run_with_remote p v ~path ~src ~retries ~deadline_ms ~plan
-    | None ->
+    match (remote, remote_store) with
+    | (Some _, _ | _, Some _) ->
+      run_with_runtime p v ~path ~src:remote ~remote_store ~store_name ~store_cache
+        ~retries ~deadline_ms ~plan ~stats_json
+    | None, None ->
       let f = Kondo_h5.File.open_file path in
       (try
-         let elems = Program.run_io p f v in
-         Printf.printf "read %d elements — run supported by this file\n" elems
+         let elems = ref 0 in
+         let csum = ref checksum_empty in
+         Program.iter_access p v (fun idx ->
+             let value = Kondo_h5.File.read_element f p.Program.dataset idx in
+             incr elems;
+             csum := checksum_add !csum value);
+         Printf.printf "read %d elements — run supported by this file\n" !elems;
+         Printf.printf "value checksum: %016Lx\n" !csum
        with Kondo_h5.File.Data_missing miss ->
          Printf.printf "DATA MISSING at index (%s), byte offset %d — not containerized for this valuation\n"
            (String.concat ","
@@ -244,20 +385,117 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a program against a KH5 file (original or debloated).")
     Term.(
       const run $ program_arg $ n_arg $ m_arg $ params_arg $ path_arg 0 "KH5 data file."
-      $ remote_arg $ remote_retries_arg $ remote_deadline_arg $ fault_plan_arg)
+      $ remote_arg $ remote_retries_arg $ remote_deadline_arg $ fault_plan_arg
+      $ remote_store_arg $ store_name_arg $ store_cache_arg $ stats_json_arg)
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+  in
+  let store_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-file" ] ~docv:"FILE"
+          ~doc:
+            "Persist chunks to this crash-safe backing file. An existing file is loaded \
+             — torn tails from a crash are salvaged and truncated.")
+  in
+  let cache_bytes_arg =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:"Server-side read cache budget (default 1 MiB).")
+  in
+  let chunk_size_arg =
+    Arg.(
+      value
+      & opt int Kondo_store.Chunk.default_size
+      & info [ "chunk-size" ] ~docv:"BYTES" ~doc:"Chunk size for served files.")
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"KH5" ~doc:"Dense KH5 files to serve.")
+  in
+  let run socket store_file cache_bytes chunk_size jobs files =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
+    let store = Kondo_store.Block_store.create ?path:store_file () in
+    (match store_file with
+    | Some f ->
+      let salvaged, intact = Kondo_store.Block_store.load_report store in
+      if salvaged > 0 || not intact then
+        Printf.printf "loaded %d chunk(s) from %s%s\n%!" salvaged f
+          (if intact then "" else " (torn tail salvaged)")
+    | None -> ());
+    let server = Kondo_store.Server.create ~cache_bytes ~jobs ~store () in
+    List.iter
+      (fun path ->
+        List.iter
+          (fun m ->
+            Printf.printf "serving %s: %d chunk(s), %d bytes\n%!" m.Kondo_store.Chunk.name
+              (Kondo_store.Chunk.chunk_count m) m.Kondo_store.Chunk.total_len)
+          (Kondo_store.Server.add_kh5 server ~chunk_size ~name:(Filename.basename path) path))
+      files;
+    Kondo_store.Server.serve_unix server ~socket
+      ~on_ready:(fun () -> Printf.printf "listening on %s\n%!" socket)
+      ~stop:(fun () -> false)
+      ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve dense KH5 files as content-addressed chunks over a Unix-domain socket \
+          (the server side of $(b,kondo run --remote-store)). Runs until killed.")
+    Term.(
+      const run $ socket_arg $ store_file_arg $ cache_bytes_arg $ chunk_size_arg
+      $ jobs_arg $ files_arg)
 
 (* ---- report ---- *)
 
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
+let runtime_stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "runtime-stats" ] ~docv:"FILE"
+        ~doc:
+          "Fold a $(b,kondo run --stats-json) file into the report, surfacing the \
+           remote/store fetch and cache counters alongside the debloat metrics.")
+
 let report_cmd =
-  let run name n m seed max_iter jobs json =
+  let run name n m seed max_iter jobs json runtime_stats =
     let p = find_program name n m in
     let config = config_of ~jobs seed max_iter in
     let r = Pipeline.evaluate ~config p in
-    if json then print_endline (Report.Json.to_string ~indent:2 (Report.pipeline_json p r))
+    let stats_raw =
+      Option.map
+        (fun file -> String.trim (Bytes.unsafe_to_string (read_whole_file file)))
+        runtime_stats
+    in
+    if json then begin
+      let base = Report.pipeline_json p r in
+      let j =
+        match (stats_raw, base) with
+        | Some raw, Report.Json.Obj fields ->
+          Report.Json.Obj (fields @ [ ("runtime_stats", Report.Json.Raw raw) ])
+        | _ -> base
+      in
+      print_endline (Report.Json.to_string ~indent:2 j)
+    end
     else begin
       print_string (Report.pipeline_text p r);
+      (match stats_raw with
+      | Some raw -> Printf.printf "runtime stats: %s\n" raw
+      | None -> ());
       let a = Option.get r.Pipeline.accuracy in
       Printf.printf "truth bloat: %.2f%%\n"
         (100.0 *. (Metrics.bloat_fraction (Program.ground_truth p)));
@@ -270,7 +508,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Evaluate Kondo against a program's exact ground truth.")
     Term.(
       const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
-      $ json_arg)
+      $ json_arg $ runtime_stats_arg)
 
 (* ---- invariant ---- *)
 
@@ -443,5 +681,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ programs_cmd; mkdata_cmd; debloat_cmd; run_cmd; report_cmd; inspect_cmd;
-            invariant_cmd; audit_cmd; campaign_cmd; replay_cmd; convert_cmd ]))
+          [ programs_cmd; mkdata_cmd; debloat_cmd; run_cmd; serve_cmd; report_cmd;
+            inspect_cmd; invariant_cmd; audit_cmd; campaign_cmd; replay_cmd; convert_cmd ]))

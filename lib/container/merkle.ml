@@ -15,6 +15,8 @@ let hash_region buf off len =
 
 let hash_pair a b = fnv_byte (Int64.logxor (Int64.mul a 0x9E3779B97F4A7C15L) b) 0x5B
 
+let hash_bytes buf = hash_region buf 0 (Bytes.length buf)
+
 (* Sliding-window polynomial rolling hash.  The boundary decision depends
    only on the last [window] bytes, so a local edit re-synchronizes chunk
    boundaries within one window — the property that makes content-defined

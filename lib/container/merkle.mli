@@ -8,6 +8,15 @@
 
 type chunk = { offset : int; length : int; hash : int64 }
 
+val hash_bytes : bytes -> int64
+(** FNV-1a digest of a whole buffer — the same digest {!chunk_bytes}
+    assigns to a chunk's content, exposed so other layers (the block
+    store) can content-address fixed-size chunks identically. *)
+
+val hash_pair : int64 -> int64 -> int64
+(** The interior-node combiner of {!build}'s Merkle tree, exposed so a
+    chunk manifest can carry a root digest over its chunk ids. *)
+
 val chunk_bytes : ?avg_bits:int -> ?min_len:int -> ?max_len:int -> bytes -> chunk list
 (** Content-defined chunk boundaries via a rolling hash.  [avg_bits]
     (default 12, i.e. ~4 KiB average) sets the boundary mask; chunks are

@@ -1,3 +1,37 @@
+type backend = {
+  b_put : int64 -> bytes -> bool;
+  b_get : int64 -> bytes option;
+  b_remove : int64 -> int;
+  b_hashes : unit -> int64 list;
+  b_count : unit -> int;
+  b_bytes : unit -> int;
+}
+
+let memory_backend () =
+  let tbl : (int64, bytes) Hashtbl.t = Hashtbl.create 256 in
+  let bytes = ref 0 in
+  { b_put =
+      (fun h c ->
+        if Hashtbl.mem tbl h then false
+        else begin
+          Hashtbl.add tbl h (Bytes.copy c);
+          bytes := !bytes + Bytes.length c;
+          true
+        end);
+    b_get = (fun h -> Option.map Bytes.copy (Hashtbl.find_opt tbl h));
+    b_remove =
+      (fun h ->
+        match Hashtbl.find_opt tbl h with
+        | None -> 0
+        | Some c ->
+          Hashtbl.remove tbl h;
+          bytes := !bytes - Bytes.length c;
+          Bytes.length c);
+    b_hashes =
+      (fun () -> List.sort Int64.compare (Hashtbl.fold (fun h _ acc -> h :: acc) tbl []));
+    b_count = (fun () -> Hashtbl.length tbl);
+    b_bytes = (fun () -> !bytes) }
+
 type stored_layer =
   | Stored_env of { cmd : string; bytes : int }
   | Stored_data of { dst : string; size : int; chunks : int64 list }
@@ -5,11 +39,13 @@ type stored_layer =
 type manifest = { spec : Spec.t; layers : stored_layer list }
 
 type t = {
-  chunks : (int64, bytes) Hashtbl.t;
+  chunks : backend;
   manifests : (string, manifest) Hashtbl.t;
 }
 
-let create () = { chunks = Hashtbl.create 256; manifests = Hashtbl.create 8 }
+let create ?backend () =
+  let chunks = match backend with Some b -> b | None -> memory_backend () in
+  { chunks; manifests = Hashtbl.create 8 }
 
 let push t ~name image =
   let added = ref 0 in
@@ -22,11 +58,10 @@ let push t ~name image =
           let hashes =
             List.map
               (fun c ->
-                if not (Hashtbl.mem t.chunks c.Merkle.hash) then begin
-                  Hashtbl.add t.chunks c.Merkle.hash
-                    (Bytes.sub d.content c.Merkle.offset c.Merkle.length);
-                  added := !added + c.Merkle.length
-                end;
+                if
+                  t.chunks.b_put c.Merkle.hash
+                    (Bytes.sub d.content c.Merkle.offset c.Merkle.length)
+                then added := !added + c.Merkle.length;
                 c.Merkle.hash)
               (Merkle.chunks tree)
           in
@@ -57,7 +92,7 @@ let pull t ~name ~have =
           List.iter
             (fun h ->
               let chunk =
-                match Hashtbl.find_opt t.chunks h with
+                match t.chunks.b_get h with
                 | Some c -> c
                 | None -> failwith "Registry: dangling chunk"
               in
@@ -74,9 +109,9 @@ let pull t ~name ~have =
 let manifest_names t =
   List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.manifests [])
 
-let chunk_count t = Hashtbl.length t.chunks
+let chunk_count t = t.chunks.b_count ()
 
-let stored_bytes t = Hashtbl.fold (fun _ c acc -> acc + Bytes.length c) t.chunks 0
+let stored_bytes t = t.chunks.b_bytes ()
 
 let chunks_of t ~name =
   let m = find_manifest t name in
@@ -101,16 +136,10 @@ let gc t ~keep =
       Merkle.HashSet.empty kept_manifests
   in
   let reclaimed = ref 0 in
-  let dead =
-    Hashtbl.fold
-      (fun h c acc -> if Merkle.HashSet.mem h live then acc else (h, Bytes.length c) :: acc)
-      t.chunks []
-  in
   List.iter
-    (fun (h, len) ->
-      Hashtbl.remove t.chunks h;
-      reclaimed := !reclaimed + len)
-    dead;
+    (fun h ->
+      if not (Merkle.HashSet.mem h live) then reclaimed := !reclaimed + t.chunks.b_remove h)
+    (t.chunks.b_hashes ());
   Hashtbl.reset t.manifests;
   List.iter (fun (name, m) -> Hashtbl.replace t.manifests name m) kept_manifests;
   !reclaimed

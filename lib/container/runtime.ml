@@ -7,10 +7,47 @@ type stats = {
   mutable misses : int;
   mutable remote_fetches : int;
   mutable remote_bytes : int;
+  mutable store_fetches : int;
+  mutable store_bytes : int;
+  mutable store_fallbacks : int;
   mutable retries : int;
   mutable breaker_trips : int;
   mutable degraded_reads : int;
   mutable corrupt_fetches : int;
+}
+
+let stats_fields s =
+  [ ("reads", s.reads);
+    ("misses", s.misses);
+    ("remote_fetches", s.remote_fetches);
+    ("remote_bytes", s.remote_bytes);
+    ("store_fetches", s.store_fetches);
+    ("store_bytes", s.store_bytes);
+    ("store_fallbacks", s.store_fallbacks);
+    ("retries", s.retries);
+    ("breaker_trips", s.breaker_trips);
+    ("degraded_reads", s.degraded_reads);
+    ("corrupt_fetches", s.corrupt_fetches) ]
+
+let pp_stats fmt s =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-16s %d@." k v) (stats_fields s)
+
+let stats_to_json ?(extra = []) s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" k v))
+    (stats_fields s @ extra);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+type store_source = {
+  source_name : string;
+  store_fetch :
+    dst:string -> dataset:string -> offset:int -> length:int ->
+    (bytes, Fault.error) result;
 }
 
 type mount = {
@@ -43,6 +80,7 @@ type t = {
   image : Image.t;
   mounts : mount list;
   remote : bool;
+  store : store_source option;
   faults : Fault_plan.t;
   retry : Retry.policy;
   rng : Kondo_prng.Rng.t; (* jitter stream: seeded from the plan, advanced per fetch *)
@@ -50,8 +88,8 @@ type t = {
   stats : stats;
 }
 
-let boot ?tracer ?(remote = false) ?(faults = Fault_plan.none) ?(retry = Retry.default)
-    ?(breaker = Breaker.default) ~image ~dir () =
+let boot ?tracer ?(remote = false) ?store ?(faults = Fault_plan.none)
+    ?(retry = Retry.default) ?(breaker = Breaker.default) ~image ~dir () =
   Retry.validate retry;
   let mapping = Image.materialize image ~dir in
   let mounts =
@@ -72,6 +110,7 @@ let boot ?tracer ?(remote = false) ?(faults = Fault_plan.none) ?(retry = Retry.d
   { image;
     mounts;
     remote;
+    store;
     faults;
     retry;
     rng = Kondo_prng.Rng.create (Fault_plan.seed faults);
@@ -81,6 +120,9 @@ let boot ?tracer ?(remote = false) ?(faults = Fault_plan.none) ?(retry = Retry.d
         misses = 0;
         remote_fetches = 0;
         remote_bytes = 0;
+        store_fetches = 0;
+        store_bytes = 0;
+        store_fallbacks = 0;
         retries = 0;
         breaker_trips = 0;
         degraded_reads = 0;
@@ -185,6 +227,34 @@ let fetch_remote t m ~dataset idx (miss : Kfile.missing) =
         degrade t miss (Fetch_failed e)
     end
 
+(* Serve a miss from the chunk-store source: one element's bytes at the
+   miss offset of the dataset's logical data section.  A store failure
+   (or a wrong-sized payload) counts as a fallback and hands the miss to
+   the remote file path when one is configured, else degrades. *)
+let fetch_store t m ~dataset idx (miss : Kfile.missing) s =
+  let ds = Kfile.find m.local dataset in
+  let dt = ds.Kondo_h5.Dataset.dtype in
+  let esz = Dtype.size dt in
+  let outcome =
+    match s.store_fetch ~dst:m.dst ~dataset ~offset:miss.Kfile.offset ~length:esz with
+    | Ok b when Bytes.length b = esz -> Ok b
+    | Ok b ->
+      Error
+        (Fault.Corrupt
+           (Printf.sprintf "store %s returned %d bytes, wanted %d" s.source_name
+              (Bytes.length b) esz))
+    | Error e -> Error e
+  in
+  match outcome with
+  | Ok b ->
+    t.stats.store_fetches <- t.stats.store_fetches + 1;
+    t.stats.store_bytes <- t.stats.store_bytes + esz;
+    Ok (Dtype.decode dt b 0)
+  | Error e ->
+    t.stats.store_fallbacks <- t.stats.store_fallbacks + 1;
+    if t.remote then fetch_remote t m ~dataset idx miss
+    else degrade t miss (Fetch_failed e)
+
 let try_read_element t ~dst ~dataset idx =
   let m = mount t dst in
   t.stats.reads <- t.stats.reads + 1;
@@ -192,7 +262,9 @@ let try_read_element t ~dst ~dataset idx =
   | v -> Ok v
   | exception Kfile.Data_missing miss ->
     t.stats.misses <- t.stats.misses + 1;
-    fetch_remote t m ~dataset idx miss
+    (match t.store with
+    | Some s -> fetch_store t m ~dataset idx miss s
+    | None -> fetch_remote t m ~dataset idx miss)
 
 let read_element t ~dst ~dataset idx =
   match try_read_element t ~dst ~dataset idx with Ok v -> v | Error exn -> raise exn

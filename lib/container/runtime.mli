@@ -24,13 +24,37 @@ open Kondo_faults
 type stats = {
   mutable reads : int;          (** element reads served *)
   mutable misses : int;         (** reads that hit carved-away data *)
-  mutable remote_fetches : int; (** misses satisfied remotely *)
-  mutable remote_bytes : int;   (** bytes pulled from the remote source *)
+  mutable remote_fetches : int; (** misses satisfied from the remote source file *)
+  mutable remote_bytes : int;   (** bytes pulled from the remote source file *)
+  mutable store_fetches : int;  (** misses satisfied by the chunk-store source *)
+  mutable store_bytes : int;    (** bytes served by the chunk-store source *)
+  mutable store_fallbacks : int;(** store-path failures that fell back to the file path *)
   mutable retries : int;        (** extra fetch attempts beyond the first *)
   mutable breaker_trips : int;  (** circuit-breaker open transitions *)
   mutable degraded_reads : int; (** remote-path reads that degraded to {!Degraded} *)
   mutable corrupt_fetches : int;(** payloads that failed CRC verification *)
 }
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Human-readable one-count-per-line rendering (for [kondo run] and
+    [kondo report]). *)
+
+val stats_to_json : ?extra:(string * int) list -> stats -> string
+(** The stats as a JSON object; [extra] appends counters from
+    surrounding layers (store client, caches) to the same object. *)
+
+type store_source = {
+  source_name : string;  (** for messages, e.g. ["unix:/run/kondo.sock"] *)
+  store_fetch :
+    dst:string -> dataset:string -> offset:int -> length:int ->
+    (bytes, Kondo_faults.Fault.error) result;
+      (** Serve [length] bytes at [offset] of the named dataset's
+          logical data section (the byte space {!Kondo_h5.File.missing}
+          offsets are expressed in). *)
+}
+(** A pluggable miss-serving source — how the content-addressed chunk
+    store ([Kondo_store.Client]) plugs into the runtime without the
+    container layer depending on it. *)
 
 type degraded_cause =
   | Breaker_open                  (** the mount's circuit breaker refused the fetch *)
@@ -48,6 +72,7 @@ type t
 val boot :
   ?tracer:Tracer.t ->
   ?remote:bool ->
+  ?store:store_source ->
   ?faults:Fault_plan.t ->
   ?retry:Retry.policy ->
   ?breaker:Breaker.config ->
@@ -57,10 +82,13 @@ val boot :
   t
 (** Materialize the image's data layers under [dir] and open them.
     [remote] (default false) enables fallback to each data dependency's
-    [src] file.  [faults] (default {!Fault_plan.none}) injects
-    deterministic failures into remote fetches; [retry] and [breaker]
-    tune the recovery machinery.  [tracer] audits the container's
-    reads. *)
+    [src] file.  [store] plugs a chunk-store source in {e ahead} of the
+    file fallback: a miss tries the store first and only falls back to
+    the source file (when [remote] is also set) or degrades when the
+    store cannot serve it.  [faults] (default {!Fault_plan.none})
+    injects deterministic failures into remote file fetches; [retry]
+    and [breaker] tune the recovery machinery.  [tracer] audits the
+    container's reads. *)
 
 val read_element : t -> dst:string -> dataset:string -> int array -> float
 (** @raise Kondo_h5.File.Data_missing when the offset was carved away

@@ -10,6 +10,7 @@ module Json = struct
     | String of string
     | List of t list
     | Obj of (string * t) list
+    | Raw of string
 
   let escape s =
     let b = Buffer.create (String.length s + 8) in
@@ -38,6 +39,7 @@ module Json = struct
     let nl () = if indent > 0 then Buffer.add_char b '\n' in
     let rec go depth = function
       | Null -> Buffer.add_string b "null"
+      | Raw s -> Buffer.add_string b s
       | Bool v -> Buffer.add_string b (string_of_bool v)
       | Int v -> Buffer.add_string b (string_of_int v)
       | Float f -> Buffer.add_string b (float_repr f)

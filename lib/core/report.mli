@@ -15,9 +15,11 @@ module Json : sig
     | String of string
     | List of t list
     | Obj of (string * t) list
+    | Raw of string  (** pre-serialized JSON, embedded verbatim *)
 
   val to_string : ?indent:int -> t -> string
-  (** Serialize with proper string escaping; [indent > 0] pretty-prints. *)
+  (** Serialize with proper string escaping; [indent > 0] pretty-prints.
+      [Raw] fragments are trusted to already be valid JSON. *)
 end
 
 val pipeline_json : ?accuracy:Metrics.accuracy -> Program.t -> Pipeline.report -> Json.t

@@ -1,0 +1,47 @@
+(** Byte-budgeted sharded LRU cache with single-flight coalescing.
+
+    The byte budget is split across N shards (per-shard budget =
+    budget/N, remainder spread over the first shards), each guarded by
+    its own mutex, so the cache {e never} holds more than [budget_bytes]
+    of payload in total — an entry larger than its shard's budget is
+    served but not retained.
+
+    {!get_or_fetch} is single-flight: when concurrent callers miss on
+    the same key, exactly one runs the upstream fetch while the others
+    block on a condition variable and receive the same outcome — one
+    upstream fetch, identical bytes, the thundering herd collapsed.
+    Fetch errors are handed to every coalesced waiter but never
+    cached. *)
+
+type stats = {
+  hits : int;
+  misses : int;          (** lookups that found nothing (coalesced waiters included) *)
+  evictions : int;       (** entries dropped to respect the byte budget *)
+  insertions : int;      (** entries accepted into the LRU *)
+  rejections : int;      (** payloads larger than their shard's budget, not retained *)
+  single_flights : int;  (** upstream fetches actually run by {!get_or_fetch} *)
+  coalesced : int;       (** callers that waited on another caller's fetch *)
+  current_bytes : int;
+  entries : int;
+}
+
+type t
+
+val create : ?shards:int -> budget_bytes:int -> unit -> t
+(** [shards] defaults to 8, clamped to [\[1, 256\]].
+    @raise Invalid_argument when [budget_bytes < 0]. *)
+
+val budget : t -> int
+val shard_count : t -> int
+
+val get : t -> Chunk.id -> bytes option
+val put : t -> Chunk.id -> bytes -> unit
+
+val get_or_fetch :
+  t -> Chunk.id -> fetch:(unit -> (bytes, Kondo_faults.Fault.error) result) ->
+  (bytes, Kondo_faults.Fault.error) result
+(** Cache hit, or run (or wait on) the single upstream fetch for this
+    key.  A successful fetch is inserted before waiters wake. *)
+
+val stats : t -> stats
+val clear : t -> unit

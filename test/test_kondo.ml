@@ -13,6 +13,7 @@ let () =
       Test_h5.suite;
       Test_provenance.suite;
       Test_container.suite;
+      Test_store.suite;
       Test_workload.suite;
       Test_core.suite;
       Test_baselines.suite;
