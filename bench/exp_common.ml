@@ -63,4 +63,24 @@ let recall_of p set = Metrics.recall ~truth:(Program.ground_truth p) ~approx:set
 
 let precision_of p set = Metrics.precision ~truth:(Program.ground_truth p) ~approx:set
 
-let now = Unix.gettimeofday
+(* Wall clock for every experiment driver, via the observability clock
+   so bench timing and production instrumentation share one source. *)
+let now () = Kondo_obs.Clock.now Kondo_obs.Clock.real
+
+(* Per-phase wall-time recorder: a driver wraps each phase of its
+   workload in [timed_phase] and embeds [phases_json] into its
+   BENCH_*.json doc, so the artifacts carry a per-phase breakdown next
+   to the headline numbers. *)
+type phases = { mutable phase_entries : (string * float) list (* newest first *) }
+
+let new_phases () = { phase_entries = [] }
+
+let timed_phase ph name f =
+  let t0 = now () in
+  let v = f () in
+  ph.phase_entries <- (name, now () -. t0) :: ph.phase_entries;
+  v
+
+let phases_json ph =
+  Report.Json.Obj
+    (List.rev_map (fun (name, s) -> (name, Report.Json.Float s)) ph.phase_entries)

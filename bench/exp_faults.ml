@@ -100,7 +100,8 @@ let json_path () =
 let run () =
   header "faults" "Fault-tolerant remote fetch: served reads under swept fault rates";
   let p = Stencils.cs ~n:128 1 in
-  let src, image = build_debloated_image p in
+  let ph = new_phases () in
+  let src, image = timed_phase ph "build_debloated_image" (fun () -> build_debloated_image p) in
   let transient_rows =
     List.map
       (fun rate ->
@@ -114,8 +115,11 @@ let run () =
       [ 0.0; 0.2; 0.4; 0.6 ]
   in
   let rows =
-    List.map (fun (label, spec) -> sweep_row p image ~label ~plan_spec:spec) transient_rows
-    @ [ sweep_row p image ~label:"permanent r=1.0" ~plan_spec:"seed=11,permanent=1.0" ]
+    timed_phase ph "fault_rate_sweep" (fun () ->
+        List.map
+          (fun (label, spec) -> sweep_row p image ~label ~plan_spec:spec)
+          transient_rows
+        @ [ sweep_row p image ~label:"permanent r=1.0" ~plan_spec:"seed=11,permanent=1.0" ])
   in
   Printf.printf "  %-18s %8s %8s %8s %8s %7s %8s %7s\n" "plan" "served" "degraded" "fetches"
     "retries" "trips" "corrupt" "wall";
@@ -164,7 +168,8 @@ let run () =
                      ("breaker_trips", Int r.breaker_trips);
                      ("corrupt_fetches", Int r.corrupt_fetches);
                      ("wall_s", Float r.wall_s) ])
-               rows) ) ]
+               rows) );
+        ("phase_timings", phases_json ph) ]
   in
   let out = json_path () in
   let oc = open_out out in

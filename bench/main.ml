@@ -39,9 +39,9 @@ let () =
   match args with
   | [ "--list" ] -> list_ids ()
   | [] ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Exp_common.now () in
     List.iter (fun (_, _, f) -> f ()) experiments;
-    Printf.printf "\nAll experiments completed in %.1fs.\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\nAll experiments completed in %.1fs.\n" (Exp_common.now () -. t0)
   | ids ->
     List.iter
       (fun id ->

@@ -61,6 +61,52 @@ let config_of ?(jobs = 1) seed max_iter =
   end;
   Config.with_jobs { Config.default with Config.seed; max_iter } jobs
 
+(* ---- observability options ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans across the fuzz/carve/runtime/store layers and write them to \
+           FILE as Chrome trace_event JSON (open in chrome://tracing or Perfetto). \
+           Instrumentation never affects outputs: results are byte-identical with or \
+           without this flag.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the process metrics registry (counters, gauges, latency histograms) to \
+           FILE in Prometheus text exposition format when the command finishes.")
+
+(* Install the ambient tracer for the duration of [f], then export the
+   requested artifacts.  The tracer is only created when --trace was
+   given, so untraced runs keep the zero-cost fast path. *)
+let with_obs ~trace ~metrics f =
+  let tracer = Option.map (fun _ -> Kondo_obs.Trace.create ()) trace in
+  Kondo_obs.Obs.set_tracer tracer;
+  Fun.protect
+    ~finally:(fun () ->
+      Kondo_obs.Obs.set_tracer None;
+      (match (trace, tracer) with
+      | Some file, Some tr ->
+        let oc = open_out file in
+        output_string oc (Kondo_obs.Trace.to_chrome_json tr);
+        output_char oc '\n';
+        close_out oc
+      | _ -> ());
+      match metrics with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Kondo_obs.Registry.expose Kondo_obs.Registry.default);
+        close_out oc)
+    f
+
 (* ---- programs ---- *)
 
 let programs_cmd =
@@ -97,10 +143,12 @@ let mkdata_cmd =
 (* ---- debloat ---- *)
 
 let debloat_cmd =
-  let run name n m seed max_iter jobs src dst =
+  let run name n m seed max_iter jobs trace metrics src dst =
     let p = find_program name n m in
     let config = config_of ~jobs seed max_iter in
-    let report = Pipeline.debloat_file ~config p ~src ~dst in
+    let report =
+      with_obs ~trace ~metrics (fun () -> Pipeline.debloat_file ~config p ~src ~dst)
+    in
     let size path =
       let ic = open_in_bin path in
       let s = in_channel_length ic in
@@ -118,6 +166,7 @@ let debloat_cmd =
     (Cmd.info "debloat" ~doc:"Fuzz, carve, and write the debloated KH5 file.")
     Term.(
       const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
+      $ trace_arg $ metrics_arg
       $ path_arg 0 "Source (dense) KH5 file."
       $ path_arg 1 "Destination (debloated) KH5 file.")
 
@@ -349,7 +398,7 @@ let run_with_runtime p v ~path ~src ~remote_store ~store_name ~store_cache ~retr
 
 let run_cmd =
   let run name n m params path remote retries deadline_ms fault_plan remote_store
-      store_name store_cache stats_json =
+      store_name store_cache stats_json trace metrics =
     let p = find_program name n m in
     let v = Array.of_list params in
     if Array.length v <> Program.arity p then begin
@@ -357,6 +406,7 @@ let run_cmd =
       exit 2
     end;
     let plan = parse_fault_plan fault_plan in
+    with_obs ~trace ~metrics @@ fun () ->
     match (remote, remote_store) with
     | (Some _, _ | _, Some _) ->
       run_with_runtime p v ~path ~src:remote ~remote_store ~store_name ~store_cache
@@ -386,7 +436,8 @@ let run_cmd =
     Term.(
       const run $ program_arg $ n_arg $ m_arg $ params_arg $ path_arg 0 "KH5 data file."
       $ remote_arg $ remote_retries_arg $ remote_deadline_arg $ fault_plan_arg
-      $ remote_store_arg $ store_name_arg $ store_cache_arg $ stats_json_arg)
+      $ remote_store_arg $ store_name_arg $ store_cache_arg $ stats_json_arg
+      $ trace_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -458,6 +509,35 @@ let serve_cmd =
       const run $ socket_arg $ store_file_arg $ cache_bytes_arg $ chunk_size_arg
       $ jobs_arg $ files_arg)
 
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run socket =
+    let conn =
+      try Kondo_store.Transport.unix_connect socket
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect to store socket %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2
+    in
+    let client = Kondo_store.Client.connect conn in
+    Fun.protect
+      ~finally:(fun () -> Kondo_store.Client.close client)
+      (fun () ->
+        match Kondo_store.Client.scrape client with
+        | Ok text -> print_string text
+        | Error e ->
+          Printf.eprintf "scrape failed: %s\n" (Kondo_faults.Fault.to_string e);
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a live $(b,kondo serve) process: print its metrics registry (request, \
+          cache, and pool counters plus latency histograms) in Prometheus text \
+          exposition format.")
+    Term.(const run $ path_arg 0 "Unix-domain socket the server listens on.")
+
 (* ---- report ---- *)
 
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -471,22 +551,47 @@ let runtime_stats_arg =
           "Fold a $(b,kondo run --stats-json) file into the report, surfacing the \
            remote/store fetch and cache counters alongside the debloat metrics.")
 
+let fuzz_trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fuzz-trace" ] ~docv:"FILE"
+        ~doc:
+          "Dump the fuzz schedule's per-iteration outcomes (the paper's Fig. 4 scatter \
+           data) to FILE as Chrome trace_event JSON: one event per debloat test at \
+           ts = iteration, categorized useful/non-useful.")
+
 let report_cmd =
-  let run name n m seed max_iter jobs json runtime_stats =
+  let run name n m seed max_iter jobs json runtime_stats fuzz_trace trace metrics =
     let p = find_program name n m in
     let config = config_of ~jobs seed max_iter in
-    let r = Pipeline.evaluate ~config p in
+    let r = with_obs ~trace ~metrics (fun () -> Pipeline.evaluate ~config p) in
     let stats_raw =
       Option.map
         (fun file -> String.trim (Bytes.unsafe_to_string (read_whole_file file)))
         runtime_stats
     in
+    (match fuzz_trace with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Report.fuzz_trace_json r.Pipeline.fuzz);
+      output_char oc '\n';
+      close_out oc);
     if json then begin
       let base = Report.pipeline_json p r in
       let j =
-        match (stats_raw, base) with
-        | Some raw, Report.Json.Obj fields ->
-          Report.Json.Obj (fields @ [ ("runtime_stats", Report.Json.Raw raw) ])
+        match base with
+        | Report.Json.Obj fields ->
+          let extra =
+            (match stats_raw with
+            | Some raw -> [ ("runtime_stats", Report.Json.Raw raw) ]
+            | None -> [])
+            @ [ ( "metrics",
+                  Report.Json.Raw (Kondo_obs.Registry.to_json Kondo_obs.Registry.default)
+                ) ]
+          in
+          Report.Json.Obj (fields @ extra)
         | _ -> base
       in
       print_endline (Report.Json.to_string ~indent:2 j)
@@ -508,7 +613,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Evaluate Kondo against a program's exact ground truth.")
     Term.(
       const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
-      $ json_arg $ runtime_stats_arg)
+      $ json_arg $ runtime_stats_arg $ fuzz_trace_out_arg $ trace_arg $ metrics_arg)
 
 (* ---- invariant ---- *)
 
@@ -576,9 +681,10 @@ let campaign_cmd =
   let rounds_arg =
     Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"K" ~doc:"Fuzzing rounds to add.")
   in
-  let run name n m seed max_iter jobs state rounds =
+  let run name n m seed max_iter jobs trace metrics state rounds =
     let p = find_program name n m in
     let config = config_of ~jobs seed max_iter in
+    with_obs ~trace ~metrics @@ fun () ->
     let c =
       if Sys.file_exists state then (
         try
@@ -613,7 +719,7 @@ let campaign_cmd =
        ~doc:"Extend a resumable fuzzing campaign (paper SecVI: let Kondo run for more time).")
     Term.(
       const run $ program_arg $ n_arg $ m_arg $ seed_arg $ max_iter_arg $ jobs_arg
-      $ state_arg $ rounds_arg)
+      $ trace_arg $ metrics_arg $ state_arg $ rounds_arg)
 
 (* ---- replay ---- *)
 
@@ -681,5 +787,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ programs_cmd; mkdata_cmd; debloat_cmd; run_cmd; serve_cmd; report_cmd;
-            inspect_cmd; invariant_cmd; audit_cmd; campaign_cmd; replay_cmd; convert_cmd ]))
+          [ programs_cmd; mkdata_cmd; debloat_cmd; run_cmd; serve_cmd; stats_cmd;
+            report_cmd; inspect_cmd; invariant_cmd; audit_cmd; campaign_cmd; replay_cmd;
+            convert_cmd ]))

@@ -32,6 +32,35 @@ let stats_fields s =
 let pp_stats fmt s =
   List.iter (fun (k, v) -> Format.fprintf fmt "%-16s %d@." k v) (stats_fields s)
 
+(* Registry mirrors of the monotonic [stats] fields, bumped at the same
+   sites so a scrape reconciles exactly with the legacy struct.
+   [breaker_trips] is deliberately absent: it is recomputed from the
+   per-mount breakers (sync_breaker_stats), and the faults layer already
+   exports kondo_breaker_trips_total at the trip site. *)
+module Rt_obs = struct
+  open Kondo_obs
+
+  let c name help = lazy (Registry.counter ~help Registry.default name)
+  let reads = c "kondo_runtime_reads_total" "Element reads issued to the runtime"
+  let misses = c "kondo_runtime_misses_total" "Reads that missed the local debloated file"
+  let remote_fetches = c "kondo_runtime_remote_fetches_total" "Misses served by the remote source"
+  let remote_bytes = c "kondo_runtime_remote_bytes_total" "Bytes fetched from the remote source"
+  let store_fetches = c "kondo_runtime_store_fetches_total" "Misses served by the block store"
+  let store_bytes = c "kondo_runtime_store_bytes_total" "Bytes fetched from the block store"
+  let store_fallbacks =
+    c "kondo_runtime_store_fallbacks_total" "Store failures handed to the remote path"
+  let retries = c "kondo_runtime_retries_total" "Remote fetch retries"
+  let degraded_reads = c "kondo_runtime_degraded_reads_total" "Reads that degraded"
+  let corrupt_fetches = c "kondo_runtime_corrupt_fetches_total" "Fetches failing CRC verification"
+
+  let fetch_seconds =
+    lazy
+      (Registry.histogram ~help:"Latency of serving one miss (store or remote path)"
+         Registry.default "kondo_runtime_fetch_seconds")
+
+  let inc ?by m = Registry.inc ?by (Lazy.force m)
+end
+
 let stats_to_json ?(extra = []) s =
   let b = Buffer.create 256 in
   Buffer.add_string b "{";
@@ -191,12 +220,14 @@ let fetch_once t m f ~dataset idx =
       Error (Fault.Transient (Printf.sprintf "short read (%d of %d bytes)" (Bytes.length payload) payload_len))
     else if Kondo_h5.Binio.crc32 payload <> crc then begin
       t.stats.corrupt_fetches <- t.stats.corrupt_fetches + 1;
+      Rt_obs.inc Rt_obs.corrupt_fetches;
       Error (Fault.Corrupt "payload CRC mismatch")
     end
     else Ok (Int64.float_of_bits (Bytes.get_int64_le payload 0))
 
 let degrade t miss cause =
   t.stats.degraded_reads <- t.stats.degraded_reads + 1;
+  Rt_obs.inc Rt_obs.degraded_reads;
   sync_breaker_stats t;
   Error (Degraded { missing = miss; cause })
 
@@ -214,12 +245,16 @@ let fetch_remote t m ~dataset idx (miss : Kfile.missing) =
       in
       t.now_ms <- t.now_ms +. outcome.Retry.elapsed_ms +. 1.0;
       t.stats.retries <- t.stats.retries + Retry.retries outcome;
+      Rt_obs.inc ~by:(Retry.retries outcome) Rt_obs.retries;
       match outcome.Retry.result with
       | Ok v ->
         Breaker.record_success m.breaker;
         t.stats.remote_fetches <- t.stats.remote_fetches + 1;
+        Rt_obs.inc Rt_obs.remote_fetches;
         let ds = Kfile.find f dataset in
-        t.stats.remote_bytes <- t.stats.remote_bytes + Dtype.size ds.Kondo_h5.Dataset.dtype;
+        let esz = Dtype.size ds.Kondo_h5.Dataset.dtype in
+        t.stats.remote_bytes <- t.stats.remote_bytes + esz;
+        Rt_obs.inc ~by:esz Rt_obs.remote_bytes;
         sync_breaker_stats t;
         Ok v
       | Error e ->
@@ -249,22 +284,34 @@ let fetch_store t m ~dataset idx (miss : Kfile.missing) s =
   | Ok b ->
     t.stats.store_fetches <- t.stats.store_fetches + 1;
     t.stats.store_bytes <- t.stats.store_bytes + esz;
+    Rt_obs.inc Rt_obs.store_fetches;
+    Rt_obs.inc ~by:esz Rt_obs.store_bytes;
     Ok (Dtype.decode dt b 0)
   | Error e ->
     t.stats.store_fallbacks <- t.stats.store_fallbacks + 1;
+    Rt_obs.inc Rt_obs.store_fallbacks;
     if t.remote then fetch_remote t m ~dataset idx miss
     else degrade t miss (Fetch_failed e)
 
 let try_read_element t ~dst ~dataset idx =
   let m = mount t dst in
   t.stats.reads <- t.stats.reads + 1;
+  Rt_obs.inc Rt_obs.reads;
   match Kfile.read_element m.local dataset idx with
   | v -> Ok v
   | exception Kfile.Data_missing miss ->
     t.stats.misses <- t.stats.misses + 1;
-    (match t.store with
-    | Some s -> fetch_store t m ~dataset idx miss s
-    | None -> fetch_remote t m ~dataset idx miss)
+    Rt_obs.inc Rt_obs.misses;
+    let t0 = Kondo_obs.Clock.now Kondo_obs.Clock.real in
+    let result =
+      match t.store with
+      | Some s -> fetch_store t m ~dataset idx miss s
+      | None -> fetch_remote t m ~dataset idx miss
+    in
+    Kondo_obs.Registry.observe
+      (Lazy.force Rt_obs.fetch_seconds)
+      (Float.max 0.0 (Kondo_obs.Clock.now Kondo_obs.Clock.real -. t0));
+    result
 
 let read_element t ~dst ~dataset idx =
   match try_read_element t ~dst ~dataset idx with Ok v -> v | Error exn -> raise exn

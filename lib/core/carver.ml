@@ -3,6 +3,33 @@ open Kondo_geometry
 
 type result = { hulls : Hull.t list; initial_cells : int; merge_rounds : int; merges : int }
 
+module Carve_obs = struct
+  open Kondo_obs
+
+  let runs =
+    lazy (Registry.counter ~help:"Carver invocations" Registry.default "kondo_carve_runs_total")
+
+  let cells =
+    lazy
+      (Registry.counter ~help:"Grid cells hulled (SPLIT output)" Registry.default
+         "kondo_carve_cells_total")
+
+  let merges =
+    lazy
+      (Registry.counter ~help:"Hull merges performed by the bottom-up sweeps"
+         Registry.default "kondo_carve_merges_total")
+
+  let hulls =
+    lazy
+      (Registry.counter ~help:"Hulls remaining after the merge fixpoint" Registry.default
+         "kondo_carve_hulls_total")
+
+  let vertices =
+    lazy
+      (Registry.counter ~help:"Vertices across the final merged hulls" Registry.default
+         "kondo_carve_vertices_total")
+end
+
 let close ~config h1 h2 =
   let cfg : Config.t = config in
   let center_ok () = Hull.center_distance h1 h2 <= cfg.Config.center_d_thresh in
@@ -119,14 +146,36 @@ let carve_points ~config ~dims points =
     in
     let config = cfg in
     let cell = Config.auto_cell_size cfg dims in
-    let cells = split_cells ~cell ~cap:cfg.Config.max_cell_points points in
-    (* Per-cell hulls are independent; the pool preserves cell order, so
-       the (order-sensitive) bottom-up merge below sees the same input
-       as a sequential run and stays bit-identical for any jobs count. *)
-    let pool = Kondo_parallel.Pool.create ~jobs:cfg.Config.jobs in
-    let hulls = Kondo_parallel.Pool.map_list pool Hull.of_int_points cells in
+    let hulls =
+      Kondo_obs.Obs.span "carve.cells" ~cat:"carve"
+        ~result_args:(fun hulls -> [ ("cells", string_of_int (List.length hulls)) ])
+        (fun () ->
+          let cells = split_cells ~cell ~cap:cfg.Config.max_cell_points points in
+          (* Per-cell hulls are independent; the pool preserves cell order, so
+             the (order-sensitive) bottom-up merge below sees the same input
+             as a sequential run and stays bit-identical for any jobs count. *)
+          let pool = Kondo_parallel.Pool.create ~jobs:cfg.Config.jobs in
+          Kondo_parallel.Pool.map_list pool Hull.of_int_points cells)
+    in
     let initial_cells = List.length hulls in
-    let merged, merge_rounds, merges = merge_all ~config hulls in
+    let merged, merge_rounds, merges =
+      Kondo_obs.Obs.span "carve.merge" ~cat:"carve"
+        ~args:[ ("cells", string_of_int initial_cells) ]
+        ~result_args:(fun (merged, sweeps, merges) ->
+          [ ("hulls", string_of_int (List.length merged));
+            ("sweeps", string_of_int sweeps);
+            ("merges", string_of_int merges) ])
+        (fun () -> merge_all ~config hulls)
+    in
+    let final_vertices =
+      List.fold_left (fun acc h -> acc + List.length (Hull.vertices h)) 0 merged
+    in
+    let open Kondo_obs in
+    Registry.inc (Lazy.force Carve_obs.runs);
+    Registry.inc ~by:initial_cells (Lazy.force Carve_obs.cells);
+    Registry.inc ~by:merges (Lazy.force Carve_obs.merges);
+    Registry.inc ~by:(List.length merged) (Lazy.force Carve_obs.hulls);
+    Registry.inc ~by:final_vertices (Lazy.force Carve_obs.vertices);
     { hulls = merged; initial_cells; merge_rounds; merges }
 
 let carve ~config is =

@@ -12,19 +12,25 @@ type report = {
 }
 
 let approximate ~config p =
-  let t0 = Unix.gettimeofday () in
-  let fuzz = Schedule.run ~config p in
-  let carve = Carver.carve ~config fuzz.Schedule.indices in
-  let approx = Carver.rasterize p.Program.shape carve.Carver.hulls in
-  (* Observed indices are certainly required; hulls contain their own
-     input points, but numerical eps could drop a boundary point. *)
-  Index_set.union_into approx fuzz.Schedule.indices;
-  { program = p.Program.name;
-    fuzz;
-    carve;
-    approx;
-    accuracy = None;
-    elapsed = Unix.gettimeofday () -. t0 }
+  Kondo_obs.Obs.span "pipeline.approximate" ~cat:"pipeline"
+    ~args:[ ("program", p.Program.name) ]
+    ~result_args:(fun r ->
+      [ ("approx_indices", string_of_int (Index_set.cardinal r.approx));
+        ("hulls", string_of_int (List.length r.carve.Carver.hulls)) ])
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let fuzz = Schedule.run ~config p in
+      let carve = Carver.carve ~config fuzz.Schedule.indices in
+      let approx = Carver.rasterize p.Program.shape carve.Carver.hulls in
+      (* Observed indices are certainly required; hulls contain their own
+         input points, but numerical eps could drop a boundary point. *)
+      Index_set.union_into approx fuzz.Schedule.indices;
+      { program = p.Program.name;
+        fuzz;
+        carve;
+        approx;
+        accuracy = None;
+        elapsed = Unix.gettimeofday () -. t0 })
 
 let evaluate ~config p =
   let r = approximate ~config p in

@@ -102,6 +102,33 @@ let schedule_json (r : Schedule.result) =
       ("stopped", Json.String (stop_reason_string r.Schedule.stopped));
       ("elapsed_s", Json.Float r.Schedule.elapsed) ]
 
+(* The fuzz schedule's outcome trace (paper Fig. 4 scatter data) in
+   Chrome trace_event form: one complete event per debloat test at
+   ts = iteration (µs scale is nominal — the x-axis is iterations), cat
+   "useful"/"non-useful".  A pure function of the result, so the export
+   is byte-stable for a fixed seed. *)
+let fuzz_trace_json (r : Schedule.result) =
+  let module W = Kondo_obs.Jsonw in
+  let event (o : Schedule.outcome) =
+    W.obj
+      [ ("name", W.str (if o.Schedule.useful then "useful" else "non-useful"));
+        ("cat", W.str (if o.Schedule.useful then "useful" else "non-useful"));
+        ("ph", W.str "X");
+        ("ts", string_of_int o.Schedule.iter);
+        ("dur", "1");
+        ("pid", "0");
+        ("tid", "0");
+        ( "args",
+          W.obj
+            [ ( "params",
+                W.str
+                  (String.concat ","
+                     (Array.to_list (Array.map (Printf.sprintf "%.1f") o.Schedule.params)))
+              );
+              ("new_offsets", string_of_int o.Schedule.new_offsets) ] ) ]
+  in
+  W.obj [ ("traceEvents", W.arr (List.map event r.Schedule.trace)) ]
+
 let accuracy_json (a : Metrics.accuracy) =
   Json.Obj
     [ ("precision", Json.Float a.Metrics.precision);

@@ -29,3 +29,10 @@ val pipeline_json : ?accuracy:Metrics.accuracy -> Program.t -> Pipeline.report -
 val pipeline_text : ?accuracy:Metrics.accuracy -> Program.t -> Pipeline.report -> string
 
 val schedule_json : Schedule.result -> Json.t
+
+val fuzz_trace_json : Schedule.result -> string
+(** The fuzz schedule's per-iteration outcomes (the paper's Fig. 4
+    scatter data) as Chrome [trace_event] JSON: one ["ph":"X"] event per
+    debloat test at [ts = iteration], categorized
+    ["useful"]/["non-useful"], with the parameter valuation and newly
+    discovered offset count as args.  Byte-stable for a fixed seed. *)

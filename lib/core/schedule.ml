@@ -4,6 +4,53 @@ open Kondo_workload
 
 type stop_reason = Max_iterations | Stagnation | Time_budget
 
+let stop_name = function
+  | Max_iterations -> "max-iterations"
+  | Stagnation -> "stagnation"
+  | Time_budget -> "time-budget"
+
+(* Schedule counters: one registry entry per Alg.-1 cost/yield quantity
+   the scheduler paper (PAPERS.md) says you must measure to tune a fuzz
+   scheduler.  Flushed in one batch per run, not per iteration. *)
+module Sched_obs = struct
+  open Kondo_obs
+
+  let rounds =
+    lazy
+      (Registry.counter ~help:"Completed fuzz schedules (rounds)" Registry.default
+         "kondo_schedule_rounds_total")
+
+  let evaluations =
+    lazy
+      (Registry.counter ~help:"Debloat tests executed" Registry.default
+         "kondo_schedule_evaluations_total")
+
+  let useful =
+    lazy
+      (Registry.counter ~help:"Evaluations classified useful" Registry.default
+         "kondo_schedule_useful_total")
+
+  let restarts =
+    lazy
+      (Registry.counter ~help:"Random restarts (queue re-seeds)" Registry.default
+         "kondo_schedule_restarts_total")
+
+  let ee_moves =
+    lazy
+      (Registry.counter ~help:"Plain exploit/explore mutations proposed" Registry.default
+         "kondo_schedule_ee_moves_total")
+
+  let boundary_moves =
+    lazy
+      (Registry.counter ~help:"Boundary-directed mutations proposed" Registry.default
+         "kondo_schedule_boundary_moves_total")
+
+  let stagnation_stops =
+    lazy
+      (Registry.counter ~help:"Runs stopped by the stagnation rule" Registry.default
+         "kondo_schedule_stagnation_stops_total")
+end
+
 type outcome = { iter : int; params : float array; useful : bool; new_offsets : int }
 
 type result = {
@@ -82,6 +129,22 @@ let run_with_eval ~config p ~eval =
   let useful_count = ref 0 in
   let new_itr = ref 0 in
   let epsilon = ref cfg.Config.epsilon0 in
+  let restarts = ref 0 in
+  let ee_moves = ref 0 in
+  let boundary_moves = ref 0 in
+  let span =
+    match Kondo_obs.Obs.tracer () with
+    | None -> None
+    | Some tr ->
+      Some
+        ( tr,
+          Kondo_obs.Trace.begin_span tr ~cat:"schedule"
+            ~args:
+              [ ("program", p.Program.name);
+                ("seed", string_of_int cfg.Config.seed);
+                ("schedule", Config.schedule_name cfg.Config.schedule) ]
+            "schedule.run" )
+  in
   let t0 = Unix.gettimeofday () in
   let enqueue v =
     let key = key_of_params v in
@@ -91,6 +154,7 @@ let run_with_eval ~config p ~eval =
     end
   in
   let random_restart () =
+    incr restarts;
     Queue.clear queue;
     (* Restarted seeds bypass the seen-filter: localization is broken by
        force-reseeding even if a value was proposed before. *)
@@ -102,13 +166,19 @@ let run_with_eval ~config p ~eval =
     let dist = if useful then cfg.Config.u_dist else cfg.Config.n_dist in
     let reps = if useful then cfg.Config.u_reps else cfg.Config.n_reps in
     List.init reps (fun _ ->
-        if cfg.Config.schedule = Config.Ee || Rng.bernoulli rng !epsilon then
+        if cfg.Config.schedule = Config.Ee || Rng.bernoulli rng !epsilon then begin
+          incr ee_moves;
           uniform_frame rng space v dist
+        end
         else begin
           let opposite = if useful then cl_n else cl_u in
           match Cluster.nearest opposite v with
-          | None -> uniform_frame rng space v dist
-          | Some (center, d) -> greedy_frame rng space v center d dist cfg.Config.diameter
+          | None ->
+            incr ee_moves;
+            uniform_frame rng space v dist
+          | Some (center, d) ->
+            incr boundary_moves;
+            greedy_frame rng space v center d dist cfg.Config.diameter
         end)
   in
   let stopped = ref Max_iterations in
@@ -139,6 +209,30 @@ let run_with_eval ~config p ~eval =
        if !itr mod cfg.Config.decay_iter = 0 then epsilon := !epsilon *. cfg.Config.decay
      done
    with Exit -> ());
+  let open Kondo_obs in
+  Registry.inc (Lazy.force Sched_obs.rounds);
+  Registry.inc ~by:!evaluations (Lazy.force Sched_obs.evaluations);
+  Registry.inc ~by:!useful_count (Lazy.force Sched_obs.useful);
+  Registry.inc ~by:!restarts (Lazy.force Sched_obs.restarts);
+  Registry.inc ~by:!ee_moves (Lazy.force Sched_obs.ee_moves);
+  Registry.inc ~by:!boundary_moves (Lazy.force Sched_obs.boundary_moves);
+  if !stopped = Stagnation then Registry.inc (Lazy.force Sched_obs.stagnation_stops);
+  (match span with
+  | None -> ()
+  | Some (tr, s) ->
+    Trace.end_span tr
+      ~args:
+        [ ("iterations", string_of_int !itr);
+          ("evaluations", string_of_int !evaluations);
+          ("useful", string_of_int !useful_count);
+          ("non_useful", string_of_int (!evaluations - !useful_count));
+          ("ee_moves", string_of_int !ee_moves);
+          ("boundary_moves", string_of_int !boundary_moves);
+          ("restarts", string_of_int !restarts);
+          ("epsilon", Printf.sprintf "%.4f" !epsilon);
+          ("stagnation", string_of_int !new_itr);
+          ("stopped", stop_name !stopped) ]
+      s);
   { indices = is;
     trace = List.rev !trace;
     iterations = !itr;
@@ -180,8 +274,13 @@ let run_rounds ~config p ~first_round ~rounds =
   let acc = Index_set.create p.Program.shape in
   Kondo_parallel.Pool.map_reduce pool ~n:rounds
     ~map:(fun i ->
-      let seed = round_seed ~base:config.Config.seed (first_round + i) in
-      (run ~config:(Config.with_seed config seed) p).indices)
+      let round = first_round + i in
+      let seed = round_seed ~base:config.Config.seed round in
+      Kondo_obs.Obs.span "schedule.round" ~cat:"schedule"
+        ~args:[ ("round", string_of_int round); ("seed", string_of_int seed) ]
+        ~result_args:(fun indices ->
+          [ ("discovered_indices", string_of_int (Index_set.cardinal indices)) ])
+        (fun () -> (run ~config:(Config.with_seed config seed) p).indices))
     ~reduce:(fun acc indices ->
       Index_set.union_into acc indices;
       acc)

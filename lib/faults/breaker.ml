@@ -1,5 +1,24 @@
 type state = Closed | Open | Half_open
 
+(* Process-wide trip/recovery/rejection counters, aggregated over every
+   breaker instance: per-instance stats stay on [t.stats], but serve- and
+   client-side hardening is also observable through the metrics registry
+   (ISSUE 5 satellite — these used to be visible only via Runtime.stats). *)
+let m_trips =
+  lazy
+    (Kondo_obs.Registry.counter ~help:"Circuit-breaker trips (any breaker)"
+       Kondo_obs.Registry.default "kondo_breaker_trips_total")
+
+let m_recoveries =
+  lazy
+    (Kondo_obs.Registry.counter ~help:"Circuit-breaker half-open recoveries (any breaker)"
+       Kondo_obs.Registry.default "kondo_breaker_recoveries_total")
+
+let m_rejections =
+  lazy
+    (Kondo_obs.Registry.counter ~help:"Calls refused by an open circuit breaker (any breaker)"
+       Kondo_obs.Registry.default "kondo_breaker_rejections_total")
+
 type config = {
   failure_threshold : int;
   cooldown_ms : float;
@@ -44,7 +63,8 @@ let trip t ~now_ms =
   t.opened_at_ms <- now_ms;
   t.consecutive_failures <- 0;
   t.half_open_successes <- 0;
-  t.stats.trips <- t.stats.trips + 1
+  t.stats.trips <- t.stats.trips + 1;
+  Kondo_obs.Registry.inc (Lazy.force m_trips)
 
 let allow t ~now_ms =
   match t.state with
@@ -58,6 +78,7 @@ let allow t ~now_ms =
     end
     else begin
       t.stats.rejections <- t.stats.rejections + 1;
+      Kondo_obs.Registry.inc (Lazy.force m_rejections);
       false
     end
 
@@ -70,7 +91,8 @@ let record_success t =
       t.state <- Closed;
       t.consecutive_failures <- 0;
       t.half_open_successes <- 0;
-      t.stats.recoveries <- t.stats.recoveries + 1
+      t.stats.recoveries <- t.stats.recoveries + 1;
+      Kondo_obs.Registry.inc (Lazy.force m_recoveries)
     end
   | Open -> ()
 

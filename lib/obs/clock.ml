@@ -1,0 +1,31 @@
+type virtual_state = { mutable at : float; step : float; lock : Mutex.t }
+
+type t =
+  | Real
+  | Virtual of virtual_state
+
+let real = Real
+
+let virtual_ ?(start = 0.0) ?(step = 0.0) () =
+  if step < 0.0 then invalid_arg "Clock.virtual_: negative step";
+  Virtual { at = start; step; lock = Mutex.create () }
+
+let now = function
+  | Real -> Unix.gettimeofday ()
+  | Virtual v ->
+    Mutex.lock v.lock;
+    let t = v.at in
+    v.at <- v.at +. v.step;
+    Mutex.unlock v.lock;
+    t
+
+let advance t delta =
+  if delta < 0.0 then invalid_arg "Clock.advance: negative delta";
+  match t with
+  | Real -> ()
+  | Virtual v ->
+    Mutex.lock v.lock;
+    v.at <- v.at +. delta;
+    Mutex.unlock v.lock
+
+let is_virtual = function Real -> false | Virtual _ -> true

@@ -1,0 +1,230 @@
+(* Shard count: a small power of two.  Writers index by domain id, so
+   up to [shards] domains increment without cache-line contention; more
+   domains than shards only share counters pairwise. *)
+let shards = 16
+
+let shard_index () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { c_cells : int Atomic.t array }
+
+type gauge = { g_cell : float Atomic.t }
+
+type hshard = {
+  h_lock : Mutex.t;
+  h_counts : int array; (* per-bucket, +Inf last *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds, no +Inf *)
+  h_shards : hshard array;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type entry = { help : string; instr : instrument }
+
+type t = { lock : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 64 }
+
+let default = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* Get-or-create under the registry lock; the first registration's help
+   (and buckets) win, a kind clash is a programming error. *)
+let register t name ~help ~make ~select =
+  if name = "" then invalid_arg "Registry: empty metric name";
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some e -> (
+        match select e.instr with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Registry: %s already registered as a %s" name
+               (kind_name e.instr)))
+      | None ->
+        let v, instr = make () in
+        Hashtbl.add t.tbl name { help; instr };
+        v)
+
+let counter ?(help = "") t name =
+  register t name ~help
+    ~make:(fun () ->
+      let c = { c_cells = Array.init shards (fun _ -> Atomic.make 0) } in
+      (c, Counter c))
+    ~select:(function Counter c -> Some c | _ -> None)
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Registry.inc: negative increment";
+  if by > 0 then ignore (Atomic.fetch_and_add c.c_cells.(shard_index ()) by)
+
+let counter_value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+
+let gauge ?(help = "") t name =
+  register t name ~help
+    ~make:(fun () ->
+      let g = { g_cell = Atomic.make 0.0 } in
+      (g, Gauge g))
+    ~select:(function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g_cell v
+let gauge_value g = Atomic.get g.g_cell
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let histogram ?(help = "") ?(buckets = default_buckets) t name =
+  if Array.length buckets = 0 then invalid_arg "Registry.histogram: no buckets";
+  Array.iteri
+    (fun i b -> if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Registry.histogram: buckets must be strictly increasing")
+    buckets;
+  register t name ~help
+    ~make:(fun () ->
+      let n = Array.length buckets in
+      let h =
+        { bounds = Array.copy buckets;
+          h_shards =
+            Array.init shards (fun _ ->
+                { h_lock = Mutex.create ();
+                  h_counts = Array.make (n + 1) 0;
+                  h_sum = 0.0;
+                  h_count = 0 }) }
+      in
+      (h, Histogram h))
+    ~select:(function Histogram h -> Some h | _ -> None)
+
+let bucket_of h v =
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n then n else if v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let s = h.h_shards.(shard_index ()) in
+  Mutex.lock s.h_lock;
+  s.h_counts.(bucket_of h v) <- s.h_counts.(bucket_of h v) + 1;
+  s.h_sum <- s.h_sum +. v;
+  s.h_count <- s.h_count + 1;
+  Mutex.unlock s.h_lock
+
+(* Merge the shards under their locks: (per-bucket counts, sum, count). *)
+let histogram_merge h =
+  let n = Array.length h.bounds in
+  let counts = Array.make (n + 1) 0 in
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.h_lock;
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.h_counts;
+      sum := !sum +. s.h_sum;
+      count := !count + s.h_count;
+      Mutex.unlock s.h_lock)
+    h.h_shards;
+  (counts, !sum, !count)
+
+let histogram_count h =
+  let _, _, count = histogram_merge h in
+  count
+
+let histogram_sum h =
+  let _, sum, _ = histogram_merge h in
+  sum
+
+let histogram_buckets h =
+  let counts, _, _ = histogram_merge h in
+  let n = Array.length h.bounds in
+  let acc = ref 0 in
+  List.init (n + 1) (fun i ->
+      acc := !acc + counts.(i);
+      ((if i = n then infinity else h.bounds.(i)), !acc))
+
+let sorted_entries t =
+  locked t (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl []))
+
+let le_string b = if b = infinity then "+Inf" else Jsonw.number b
+
+let expose t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, e) ->
+      if e.help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name e.help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name (kind_name e.instr));
+      match e.instr with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%s %d\n" name (counter_value c))
+      | Gauge g ->
+        Buffer.add_string b (Printf.sprintf "%s %s\n" name (Jsonw.number (gauge_value g)))
+      | Histogram h ->
+        List.iter
+          (fun (bound, cum) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_string bound) cum))
+          (histogram_buckets h);
+        let _, sum, count = histogram_merge h in
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (Jsonw.number sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" name count))
+    (sorted_entries t);
+  Buffer.contents b
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, e) ->
+      match e.instr with
+      | Counter c -> counters := (name, string_of_int (counter_value c)) :: !counters
+      | Gauge g -> gauges := (name, Jsonw.number (gauge_value g)) :: !gauges
+      | Histogram h ->
+        let buckets =
+          Jsonw.arr
+            (List.map
+               (fun (bound, cum) ->
+                 Jsonw.obj
+                   [ ("le", Jsonw.str (le_string bound)); ("count", string_of_int cum) ])
+               (histogram_buckets h))
+        in
+        let _, sum, count = histogram_merge h in
+        histograms :=
+          ( name,
+            Jsonw.obj
+              [ ("buckets", buckets);
+                ("sum", Jsonw.number sum);
+                ("count", string_of_int count) ] )
+          :: !histograms)
+    (sorted_entries t);
+  Jsonw.obj
+    [ ("counters", Jsonw.obj (List.rev !counters));
+      ("gauges", Jsonw.obj (List.rev !gauges));
+      ("histograms", Jsonw.obj (List.rev !histograms)) ]
+
+let reset t =
+  List.iter
+    (fun (_, e) ->
+      match e.instr with
+      | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells
+      | Gauge g -> Atomic.set g.g_cell 0.0
+      | Histogram h ->
+        Array.iter
+          (fun s ->
+            Mutex.lock s.h_lock;
+            Array.fill s.h_counts 0 (Array.length s.h_counts) 0;
+            s.h_sum <- 0.0;
+            s.h_count <- 0;
+            Mutex.unlock s.h_lock)
+          h.h_shards)
+    (sorted_entries t)

@@ -1,0 +1,76 @@
+(** The metrics registry: named counters, gauges, and fixed-bucket
+    histograms, safe to update concurrently from any domain.
+
+    Counters and histograms keep {e per-shard} accumulators — a writer
+    touches only the shard indexed by its domain id, so hot-path
+    increments never contend across domains — and a snapshot
+    ({!expose}, {!to_json}, or the [_value] readers) merges the shards.
+    Registration is get-or-create: asking twice for the same name
+    returns the same instrument (the first registration's help text and
+    buckets win), so independent modules can share one process-global
+    registry ({!default}) without coordination.  Registering a name as
+    two different kinds is an error.
+
+    Exposition is Prometheus-style text ([# HELP] / [# TYPE] /
+    [name value], histograms as [_bucket{le="..."}]/[_sum]/[_count])
+    with metrics sorted by name, so output for a given set of values is
+    byte-stable. *)
+
+type t
+
+val create : unit -> t
+val default : t
+(** The process-global registry every production code path registers
+    into.  Tests wanting byte-stable snapshots should {!create} their
+    own. *)
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : ?help:string -> t -> string -> counter
+val inc : ?by:int -> counter -> unit
+(** [by] defaults to 1.  @raise Invalid_argument on a negative [by]. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — a float that can move both ways; last write wins. *)
+
+type gauge
+
+val gauge : ?help:string -> t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — fixed upper-bound buckets plus sum and count. *)
+
+type histogram
+
+val default_buckets : float array
+(** Latency-in-seconds buckets: 1µs … 10s, decades. *)
+
+val histogram : ?help:string -> ?buckets:float array -> t -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit [+Inf]
+    bucket is always appended.  Default {!default_buckets}.
+    @raise Invalid_argument on empty or non-increasing buckets. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) list
+(** Cumulative per-bucket counts [(upper_bound, count <= bound)], the
+    [+Inf] bucket last (bound [infinity]). *)
+
+(** {1 Snapshots} *)
+
+val expose : t -> string
+(** Prometheus text exposition, metrics sorted by name. *)
+
+val to_json : t -> string
+(** A one-line JSON snapshot:
+    [{"counters":{...},"gauges":{...},"histograms":{...}}], keys
+    sorted. *)
+
+val reset : t -> unit
+(** Zero every registered instrument (instruments stay registered). *)

@@ -44,6 +44,26 @@ type shard = {
 
 type t = { shards : shard array }
 
+(* Registry mirrors of the per-shard counters, bumped at the same sites
+   (shard lock held) so a scrape agrees with [stats] modulo in-flight
+   operations. *)
+module Cache_obs = struct
+  open Kondo_obs
+
+  let c name help = lazy (Registry.counter ~help Registry.default name)
+  let hits = c "kondo_store_cache_hits_total" "Cache lookups served from memory"
+  let misses = c "kondo_store_cache_misses_total" "Cache lookups that missed"
+  let evictions = c "kondo_store_cache_evictions_total" "LRU evictions"
+  let insertions = c "kondo_store_cache_insertions_total" "Entries inserted"
+  let rejections = c "kondo_store_cache_rejections_total" "Oversized entries refused"
+  let single_flights =
+    c "kondo_store_cache_single_flights_total" "Upstream fetches led by one caller"
+  let coalesced_waits =
+    c "kondo_store_cache_coalesced_waits_total" "Callers that waited on an in-flight fetch"
+
+  let inc m = Registry.inc (Lazy.force m)
+end
+
 let create ?(shards = 8) ~budget_bytes () =
   if budget_bytes < 0 then invalid_arg "Cache.create: negative budget";
   let n = max 1 (min 256 shards) in
@@ -97,19 +117,24 @@ let evict_to_budget s =
     match s.tail with
     | Some n ->
       drop_entry s n;
-      s.evictions <- s.evictions + 1
+      s.evictions <- s.evictions + 1;
+      Cache_obs.inc Cache_obs.evictions
     | None -> s.bytes <- 0 (* unreachable: bytes > 0 implies a tail *)
   done
 
 let insert s id data =
   (match Hashtbl.find_opt s.tbl id with Some old -> drop_entry s old | None -> ());
-  if Bytes.length data > s.budget then s.rejections <- s.rejections + 1
+  if Bytes.length data > s.budget then begin
+    s.rejections <- s.rejections + 1;
+    Cache_obs.inc Cache_obs.rejections
+  end
   else begin
     let n = { key = id; data; prev = None; next = None } in
     push_front s n;
     Hashtbl.add s.tbl id n;
     s.bytes <- s.bytes + Bytes.length data;
     s.insertions <- s.insertions + 1;
+    Cache_obs.inc Cache_obs.insertions;
     evict_to_budget s
   end
 
@@ -119,9 +144,11 @@ let lookup s id =
     unlink s n;
     push_front s n;
     s.hits <- s.hits + 1;
+    Cache_obs.inc Cache_obs.hits;
     Some (Bytes.copy n.data)
   | None ->
     s.misses <- s.misses + 1;
+    Cache_obs.inc Cache_obs.misses;
     None
 
 let locked lock f =
@@ -148,6 +175,7 @@ let get_or_fetch t id ~fetch =
     | Some fl ->
       (* coalesce onto the in-flight fetch *)
       s.coalesced <- s.coalesced + 1;
+      Cache_obs.inc Cache_obs.coalesced_waits;
       let rec wait () =
         match fl.outcome with
         | Some r -> r
@@ -163,6 +191,7 @@ let get_or_fetch t id ~fetch =
       let fl = { outcome = None } in
       Hashtbl.add s.inflight id fl;
       s.single_flights <- s.single_flights + 1;
+      Cache_obs.inc Cache_obs.single_flights;
       Mutex.unlock s.lock;
       let r =
         match fetch () with

@@ -11,6 +11,37 @@ type stats = {
   mutable cache_hits : int;
 }
 
+(* Registry mirrors of the client stats, plus exchange latency and
+   range-GET batch-size distributions. *)
+module Cl_obs = struct
+  open Kondo_obs
+
+  let c name help = lazy (Registry.counter ~help Registry.default name)
+  let requests = c "kondo_store_client_requests_total" "Protocol rounds attempted"
+  let range_gets = c "kondo_store_client_range_gets_total" "BATCH requests issued"
+  let fetched_chunks = c "kondo_store_client_fetched_chunks_total" "Verified chunks received"
+  let fetched_bytes = c "kondo_store_client_fetched_bytes_total" "Verified chunk bytes received"
+  let corrupt_fetches =
+    c "kondo_store_client_corrupt_fetches_total" "Digest mismatches detected (then retried)"
+  let retries = c "kondo_store_client_retries_total" "Exchange retries"
+  let breaker_rejections =
+    c "kondo_store_client_breaker_rejections_total" "Exchanges refused by an open breaker"
+  let cache_hits = c "kondo_store_client_cache_hits_total" "Chunks served from the local cache"
+
+  let request_seconds =
+    lazy
+      (Registry.histogram ~help:"Breaker-gated exchange latency (including retries)"
+         Registry.default "kondo_store_client_request_seconds")
+
+  let batch_size =
+    lazy
+      (Registry.histogram ~help:"Chunk ids per BATCH range GET"
+         ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+         Registry.default "kondo_store_client_batch_size")
+
+  let inc ?by m = Registry.inc ?by (Lazy.force m)
+end
+
 type t = {
   conn : Transport.conn;
   retry : Retry.policy;
@@ -53,6 +84,7 @@ let breaker_state t = Breaker.state t.breaker
    digest verification downstream) then rejects as a retryable fault. *)
 let round_once t req =
   t.stats.requests <- t.stats.requests + 1;
+  Cl_obs.inc Cl_obs.requests;
   let attempt =
     Fault_plan.wrap t.faults ~site:t.site
       ~shorten:(fun body -> String.sub body 0 (max 0 (String.length body - 1)))
@@ -81,17 +113,23 @@ let round_once t req =
 let exchange t req ~check =
   if not (Breaker.allow t.breaker ~now_ms:t.now_ms) then begin
     t.stats.breaker_rejections <- t.stats.breaker_rejections + 1;
+    Cl_obs.inc Cl_obs.breaker_rejections;
     Error (Fault.Permanent "store circuit breaker open")
   end
   else begin
+    let t0 = Kondo_obs.Clock.now Kondo_obs.Clock.real in
     let outcome =
       Retry.run t.retry ~rng:t.rng (fun ~attempt:_ ->
           match round_once t req with
           | Error _ as e -> e
           | Ok resp -> check resp)
     in
+    Kondo_obs.Registry.observe
+      (Lazy.force Cl_obs.request_seconds)
+      (Float.max 0.0 (Kondo_obs.Clock.now Kondo_obs.Clock.real -. t0));
     t.now_ms <- t.now_ms +. outcome.Retry.elapsed_ms +. 1.0;
     t.stats.retries <- t.stats.retries + Retry.retries outcome;
+    Cl_obs.inc ~by:(Retry.retries outcome) Cl_obs.retries;
     (match outcome.Retry.result with
     | Ok _ -> Breaker.record_success t.breaker
     | Error _ -> Breaker.record_failure t.breaker ~now_ms:t.now_ms);
@@ -110,6 +148,7 @@ let unexpected resp =
        | Proto.Stats _ -> "stats"
        | Proto.Blobs _ -> "blobs"
        | Proto.Manifest_resp _ -> "manifest"
+       | Proto.Metrics _ -> "metrics"
        | Proto.Err msg -> "error: " ^ msg))
 
 let manifest t ~name =
@@ -121,6 +160,12 @@ let manifest t ~name =
 let stat t =
   exchange t Proto.Stat ~check:(function
     | Proto.Stats i -> Ok i
+    | resp -> unexpected resp)
+
+let scrape t =
+  exchange t Proto.Scrape ~check:(function
+    | Proto.Metrics text -> Ok text
+    | Proto.Err msg -> Error (Fault.Permanent msg)
     | resp -> unexpected resp)
 
 let put t payload =
@@ -140,10 +185,13 @@ let verified t m i payload =
   if Chunk.verify m i b then begin
     t.stats.fetched_chunks <- t.stats.fetched_chunks + 1;
     t.stats.fetched_bytes <- t.stats.fetched_bytes + Bytes.length b;
+    Cl_obs.inc Cl_obs.fetched_chunks;
+    Cl_obs.inc ~by:(Bytes.length b) Cl_obs.fetched_bytes;
     Ok b
   end
   else begin
     t.stats.corrupt_fetches <- t.stats.corrupt_fetches + 1;
+    Cl_obs.inc Cl_obs.corrupt_fetches;
     Error (Fault.Corrupt (Printf.sprintf "chunk %d of %s failed digest verification" i m.Chunk.name))
   end
 
@@ -154,6 +202,8 @@ let fetch_chunks t m ~first ~count =
   else begin
     let ids = List.init count (fun i -> m.Chunk.ids.(first + i)) in
     t.stats.range_gets <- t.stats.range_gets + 1;
+    Cl_obs.inc Cl_obs.range_gets;
+    Kondo_obs.Registry.observe (Lazy.force Cl_obs.batch_size) (float_of_int count);
     exchange t (Proto.Batch ids) ~check:(function
       | Proto.Blobs entries ->
         if List.length entries <> count then
@@ -201,6 +251,7 @@ let read_bytes t m ~offset ~length =
         match Cache.get cache m.Chunk.ids.(c0 + i) with
         | Some b ->
           t.stats.cache_hits <- t.stats.cache_hits + 1;
+          Cl_obs.inc Cl_obs.cache_hits;
           chunks.(i) <- Some b
         | None -> ()
       done);

@@ -41,6 +41,10 @@ val manifest : t -> name:string -> (Chunk.manifest, Kondo_faults.Fault.error) re
 
 val stat : t -> (Proto.stat_info, Kondo_faults.Fault.error) result
 
+val scrape : t -> (string, Kondo_faults.Fault.error) result
+(** STATS op: the server's metrics registry in Prometheus text
+    exposition format. *)
+
 val put : t -> bytes -> (Chunk.id * bool, Kondo_faults.Fault.error) result
 (** Content-address a payload and PUT it; returns its id and whether it
     was new to the server. *)

@@ -17,6 +17,7 @@ type request =
   | Stat
   | Batch of Chunk.id list
   | Manifest_req of string
+  | Scrape
 
 type response =
   | Blob of string
@@ -25,6 +26,7 @@ type response =
   | Stats of stat_info
   | Blobs of (Chunk.id * string option) list
   | Manifest_resp of Chunk.manifest
+  | Metrics of string
   | Err of string
 
 let max_message = 64 * 1024 * 1024
@@ -100,7 +102,8 @@ let encode_request req =
     List.iter (add_u64 b) ids
   | Manifest_req name ->
     Buffer.add_char b 'M';
-    add_str b name);
+    add_str b name
+  | Scrape -> Buffer.add_char b 'T');
   Buffer.contents b
 
 let decode_request s =
@@ -116,6 +119,7 @@ let decode_request s =
         if n * 8 > Bytes.length c.buf then raise (Bad "batch count too large");
         Batch (List.init n (fun _ -> r_u64 c))
       | 'M' -> Manifest_req (r_str c)
+      | 'T' -> Scrape
       | _ -> raise (Bad "unknown request tag"))
 
 let encode_response resp =
@@ -150,6 +154,9 @@ let encode_response resp =
   | Manifest_resp m ->
     Buffer.add_char b 'm';
     add_str b (Chunk.encode m)
+  | Metrics text ->
+    Buffer.add_char b 't';
+    add_str b text
   | Err msg ->
     Buffer.add_char b 'e';
     add_str b msg);
@@ -191,6 +198,7 @@ let decode_response s =
         match Chunk.decode (r_str c) with
         | Ok m -> Manifest_resp m
         | Error msg -> raise (Bad ("bad manifest: " ^ msg)))
+      | 't' -> Metrics (r_str c)
       | 'e' -> Err (r_str c)
       | _ -> raise (Bad "unknown response tag"))
 

@@ -28,6 +28,9 @@ type request =
   | Batch of Chunk.id list             (** range GET: adjacent chunk ids in one round trip *)
   | Manifest_req of string
       (** by exact key, or ["#dataset"] to match a unique suffix *)
+  | Scrape
+      (** STATS op: dump the server's metrics registry in Prometheus
+          text exposition format (answered with {!Metrics}) *)
 
 type response =
   | Blob of string
@@ -36,6 +39,7 @@ type response =
   | Stats of stat_info
   | Blobs of (Chunk.id * string option) list
   | Manifest_resp of Chunk.manifest
+  | Metrics of string                  (** Prometheus text exposition *)
   | Err of string
 
 val max_message : int

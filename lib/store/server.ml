@@ -1,5 +1,25 @@
 module Kfile = Kondo_h5.File
 
+module Srv_obs = struct
+  open Kondo_obs
+
+  let requests =
+    lazy
+      (Registry.counter ~help:"Requests handled by the store server" Registry.default
+         "kondo_store_server_requests_total")
+
+  let request_seconds =
+    lazy
+      (Registry.histogram ~help:"Store server request handling latency" Registry.default
+         "kondo_store_server_request_seconds")
+
+  let batch_size =
+    lazy
+      (Registry.histogram ~help:"Chunk ids per BATCH request"
+         ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+         Registry.default "kondo_store_server_batch_size")
+end
+
 type t = {
   store : Block_store.t;
   cache : Cache.t;
@@ -108,6 +128,9 @@ let apply t req =
   | Proto.Batch ids ->
     (* a range GET: fan the lookups out over a domain pool — concurrent
        misses on duplicate ids coalesce in the cache's single-flight *)
+    Kondo_obs.Registry.observe
+      (Lazy.force Srv_obs.batch_size)
+      (float_of_int (List.length ids));
     let lookup id =
       (id, match lookup_chunk t id with Ok b -> Some (Bytes.unsafe_to_string b) | Error _ -> None)
     in
@@ -120,9 +143,15 @@ let apply t req =
     match find_manifest t key with
     | Some m -> Proto.Manifest_resp m
     | None -> Proto.Err (Printf.sprintf "no manifest matches %S" key))
+  | Proto.Scrape ->
+    (* STATS op: the process-wide registry, so a scrape also sees the
+       cache/pool/faults counters this server has been driving. *)
+    Proto.Metrics (Kondo_obs.Registry.expose Kondo_obs.Registry.default)
 
 let handle t body =
   locked t (fun () -> t.served <- t.served + 1);
+  Kondo_obs.Registry.inc (Lazy.force Srv_obs.requests);
+  let t0 = Kondo_obs.Clock.now Kondo_obs.Clock.real in
   let resp =
     match Proto.decode_request body with
     | Error msg -> Proto.Err ("bad request: " ^ msg)
@@ -131,7 +160,11 @@ let handle t body =
       | resp -> resp
       | exception exn -> Proto.Err ("server error: " ^ Printexc.to_string exn))
   in
-  Proto.encode_response resp
+  let encoded = Proto.encode_response resp in
+  Kondo_obs.Registry.observe
+    (Lazy.force Srv_obs.request_seconds)
+    (Float.max 0.0 (Kondo_obs.Clock.now Kondo_obs.Clock.real -. t0));
+  encoded
 
 let handle_conn t fd =
   let ic = Unix.in_channel_of_descr fd in

@@ -14,6 +14,7 @@ let () =
       Test_provenance.suite;
       Test_container.suite;
       Test_store.suite;
+      Test_obs.suite;
       Test_workload.suite;
       Test_core.suite;
       Test_baselines.suite;
